@@ -1,0 +1,123 @@
+package acq
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEvaluationLayers runs the same refinement under all three
+// evaluation layers (§3) and validates each returned query on the full
+// data: exact is exact; sampled and histogram answers land within the
+// combined tolerance of δ and the layer's own error.
+func TestEvaluationLayers(t *testing.T) {
+	s, err := NewUsersSession(30_000, 0, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sql = `SELECT * FROM users CONSTRAINT COUNT(*) = 8000
+		WHERE age <= 30 AND income <= 60000`
+	const delta = 0.05
+	target := 8000.0
+
+	trueAggregate := func(rq *RefinedQuery) float64 {
+		s.UseExact()
+		clone := rq.Base.Clone()
+		for i := range clone.Dims {
+			clone.Dims[i].Bound = clone.Dims[i].BoundAt(rq.Scores[i])
+		}
+		v, err := s.Estimate(clone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	// Exact.
+	q, err := s.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := s.Refine(q, Options{Gamma: 12, Delta: delta})
+	if err != nil || !exact.Satisfied {
+		t.Fatalf("exact: %v %+v", err, exact)
+	}
+	if v := trueAggregate(exact.Best); math.Abs(v-target)/target > delta+1e-9 {
+		t.Errorf("exact layer returned untrue aggregate: %v", v)
+	}
+
+	// Sampling at 10%.
+	if err := s.UseSampling(0.1, 5); err != nil {
+		t.Fatalf("UseSampling: %v", err)
+	}
+	q2, err := s.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := s.Refine(q2, Options{Gamma: 12, Delta: delta})
+	if err != nil {
+		t.Fatalf("sampled refine: %v", err)
+	}
+	if sampled.Satisfied {
+		if v := trueAggregate(sampled.Best); math.Abs(v-target)/target > delta+0.12 {
+			t.Errorf("sampled answer too far off on true data: %v", v)
+		}
+	}
+
+	// Histogram estimation.
+	if err := s.UseHistograms(64); err != nil {
+		t.Fatalf("UseHistograms: %v", err)
+	}
+	q3, err := s.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.Refine(q3, Options{Gamma: 12, Delta: delta})
+	if err != nil {
+		t.Fatalf("histogram refine: %v", err)
+	}
+	if est.Satisfied {
+		if v := trueAggregate(est.Best); math.Abs(v-target)/target > delta+0.10 {
+			t.Errorf("histogram answer too far off on true data: %v", v)
+		}
+	}
+	// Estimation never scanned rows during the search.
+	s.UseExact()
+}
+
+func TestUseSamplingValidation(t *testing.T) {
+	s, err := NewUsersSession(100, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UseSampling(0, 1); err == nil {
+		t.Error("fraction 0: expected error")
+	}
+	if err := s.UseSampling(2, 1); err == nil {
+		t.Error("fraction 2: expected error")
+	}
+}
+
+func TestHistogramLayerJoinSupport(t *testing.T) {
+	s, err := NewTPCHSession(2000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UseHistograms(32); err != nil {
+		t.Fatal(err)
+	}
+	// NOREFINE equi-joins are estimable via the containment formula.
+	res, err := s.RefineSQL(`SELECT * FROM part, partsupp CONSTRAINT COUNT(*) = 1200
+		WHERE (p_partkey = ps_partkey) NOREFINE AND p_retailprice < 1200`, Options{Gamma: 30, Delta: 0.05})
+	if err != nil {
+		t.Fatalf("histogram layer on a NOREFINE equi-join: %v", err)
+	}
+	if !res.Satisfied && res.Closest == nil {
+		t.Fatalf("estimated join refinement produced nothing: %+v", res)
+	}
+	// Refinable join bands need the joint key distribution — rejected.
+	_, err = s.RefineSQL(`SELECT * FROM part, partsupp CONSTRAINT COUNT(*) = 100
+		WHERE p_partkey = ps_partkey AND p_retailprice < 1200`, Options{})
+	if err == nil {
+		t.Error("histogram layer on a refinable join band: expected error")
+	}
+}

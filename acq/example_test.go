@@ -1,0 +1,92 @@
+package acq_test
+
+import (
+	"fmt"
+	"log"
+
+	"acquire/acq"
+)
+
+// The canonical flow: parse an ACQ, check the original aggregate,
+// refine, and read the recommended queries.
+func Example() {
+	session, err := acq.NewTPCHSession(20_000, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query, err := session.Parse(`
+		SELECT * FROM part
+		CONSTRAINT COUNT(*) = 3000
+		WHERE p_retailprice < 1200`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	original, err := session.Estimate(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Refine(query, acq.Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original %.0f of %0.f; satisfied: %v; within δ: %v\n",
+		original, query.Constraint.Target, result.Satisfied, result.Best.Err <= 0.05)
+	// Output:
+	// original 1251 of 3000; satisfied: true; within δ: true
+}
+
+// Weighted norms (§7.1) steer the search away from predicates the user
+// would rather not touch.
+func ExampleLpNorm() {
+	session, err := acq.NewUsersSession(10_000, 0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query, err := session.Parse(`
+		SELECT * FROM users
+		CONSTRAINT COUNT(*) = 600
+		WHERE age <= 30 AND income <= 60000`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Penalise refining age 10x.
+	norm, err := acq.LpNorm(1, []float64{10, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.Refine(query, acq.Options{Gamma: 10, Delta: 0.05, Norm: norm})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("age refined by %.0f, income refined more: %v\n",
+		result.Best.Scores[0], result.Best.Scores[1] > result.Best.Scores[0])
+	// Output:
+	// age refined by 0, income refined more: true
+}
+
+// User-defined aggregates plug into CONSTRAINT clauses by name, as long
+// as they satisfy the optimal substructure property (§2.6).
+func ExampleRegisterUDA() {
+	err := acq.RegisterUDA(acq.UDA{
+		Name:  "DOCSUMSQ",
+		Map:   func(v float64) float64 { return v * v },
+		Final: func(p acq.Partial) float64 { return p.User },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := acq.NewUsersSession(5_000, 0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := session.RefineSQL(`
+		SELECT * FROM users
+		CONSTRAINT DOCSUMSQ(sessions) >= 400K
+		WHERE age <= 40`, acq.Options{Gamma: 15, Delta: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("satisfied:", result.Satisfied)
+	// Output:
+	// satisfied: true
+}

@@ -1,0 +1,315 @@
+// Package repro_test holds the figure-regeneration benchmarks: one
+// testing.B target per table and figure of the paper's evaluation
+// (§8), as indexed in DESIGN.md §4. Each benchmark runs the harness at
+// a bench-friendly scale and reports the reproduced series' headline
+// values as custom metrics, so `go test -bench=. -benchmem` both times
+// the regeneration and exposes the numbers EXPERIMENTS.md records.
+// Full-scale reproduction: cmd/acqbench -rows 1000000.
+package repro_test
+
+import (
+	"testing"
+
+	"acquire/internal/harness"
+)
+
+// benchCfg is the scale used for benchmark runs. TQGen dominates the
+// wall clock (by design — that is the paper's finding), so the dataset
+// is kept at 10K rows; shapes are scale-stable (Figure 10.a is the
+// scale sweep).
+func benchCfg() harness.Config {
+	return harness.Config{Rows: 10000, Seed: 1, Delta: 0.05, Gamma: 20, TQGenGridK: 6, TQGenRounds: 3}
+}
+
+// seriesY extracts one series' values from a figure.
+func seriesY(b *testing.B, f harness.Figure, name string) []float64 {
+	b.Helper()
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s.Y
+		}
+	}
+	b.Fatalf("series %q missing from figure %s", name, f.ID)
+	return nil
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// BenchmarkFigure8ExecutionTime regenerates Figure 8.a (ratio sweep,
+// execution time, all four methods) and reports the mean per-method
+// times plus the TQGen/ACQUIRE slowdown factor.
+func BenchmarkFigure8ExecutionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := figs[0]
+		acq, tq := seriesY(b, t, "ACQUIRE"), seriesY(b, t, "TQGen")
+		bs, tk := seriesY(b, t, "BinSearch"), seriesY(b, t, "Top-k")
+		b.ReportMetric(mean(acq), "ACQUIRE-ms")
+		b.ReportMetric(mean(tq), "TQGen-ms")
+		b.ReportMetric(mean(bs), "BinSearch-ms")
+		b.ReportMetric(mean(tk), "Top-k-ms")
+		b.ReportMetric(mean(tq)/mean(acq), "TQGen/ACQUIRE")
+	}
+}
+
+// BenchmarkFigure8AggregateError regenerates Figure 8.b (relative
+// aggregate error).
+func BenchmarkFigure8AggregateError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := figs[1]
+		b.ReportMetric(mean(seriesY(b, e, "ACQUIRE")), "ACQUIRE-err")
+		b.ReportMetric(mean(seriesY(b, e, "TQGen")), "TQGen-err")
+		b.ReportMetric(mean(seriesY(b, e, "BinSearch")), "BinSearch-err")
+	}
+}
+
+// BenchmarkFigure8RefinementScore regenerates Figure 8.c (refinement
+// score) and reports the BinSearch/ACQUIRE refinement ratio the paper
+// quotes as ≈4.8X.
+func BenchmarkFigure8RefinementScore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := figs[2]
+		acq := mean(seriesY(b, r, "ACQUIRE"))
+		b.ReportMetric(acq, "ACQUIRE-ref")
+		b.ReportMetric(mean(seriesY(b, r, "BinSearch"))/acq, "BinSearch/ACQUIRE")
+		b.ReportMetric(mean(seriesY(b, r, "TQGen"))/acq, "TQGen/ACQUIRE")
+	}
+}
+
+// BenchmarkFigure9ExecutionTime regenerates Figure 9.a (dimensionality
+// sweep) and reports the d=5/d=1 growth factors — TQGen's is the
+// exponential blow-up the paper highlights.
+func BenchmarkFigure9ExecutionTime(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Rows = 5000
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := figs[0]
+		acq, tq := seriesY(b, t, "ACQUIRE"), seriesY(b, t, "TQGen")
+		b.ReportMetric(acq[4], "ACQUIRE-d5-ms")
+		b.ReportMetric(tq[4], "TQGen-d5-ms")
+		b.ReportMetric(tq[4]/acq[4], "TQGen/ACQUIRE-d5")
+	}
+}
+
+// BenchmarkFigure9AggregateError regenerates Figure 9.b.
+func BenchmarkFigure9AggregateError(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Rows = 5000
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := figs[1]
+		b.ReportMetric(mean(seriesY(b, e, "ACQUIRE")), "ACQUIRE-err")
+		b.ReportMetric(mean(seriesY(b, e, "BinSearch")), "BinSearch-err")
+	}
+}
+
+// BenchmarkFigure9RefinementScore regenerates Figure 9.c.
+func BenchmarkFigure9RefinementScore(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Rows = 5000
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := figs[2]
+		acq := mean(seriesY(b, r, "ACQUIRE"))
+		b.ReportMetric(acq, "ACQUIRE-ref")
+		b.ReportMetric(mean(seriesY(b, r, "BinSearch"))/acq, "BinSearch/ACQUIRE")
+	}
+}
+
+// BenchmarkFigure10TableSize regenerates Figure 10.a (1K/10K/100K; the
+// paper's 1M point comes from cmd/acqbench -sizes ...,1000000).
+func BenchmarkFigure10TableSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure10a(benchCfg(), []int{1000, 10000, 100000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := figs[0]
+		acq := seriesY(b, t, "ACQUIRE")
+		b.ReportMetric(acq[0], "ACQUIRE-1K-ms")
+		b.ReportMetric(acq[2], "ACQUIRE-100K-ms")
+	}
+}
+
+// BenchmarkFigure10RefinementThreshold regenerates Figure 10.b.
+func BenchmarkFigure10RefinementThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure10b(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		y := figs[0].Series[0].Y
+		b.ReportMetric(y[0], "gamma2-ms")
+		b.ReportMetric(y[len(y)-1], "gamma12-ms")
+	}
+}
+
+// BenchmarkFigure10CardinalityThreshold regenerates Figure 10.c.
+func BenchmarkFigure10CardinalityThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure10c(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		y := figs[0].Series[0].Y
+		b.ReportMetric(y[0], "delta1e-4-ms")
+		b.ReportMetric(y[len(y)-1], "delta0.1-ms")
+	}
+}
+
+// BenchmarkFigure11AggregateTypes regenerates Figure 11.a (SUM, COUNT,
+// MAX on the TPC-H skeleton).
+func BenchmarkFigure11AggregateTypes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure11(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := figs[0]
+		b.ReportMetric(mean(seriesY(b, t, "SUM")), "SUM-ms")
+		b.ReportMetric(mean(seriesY(b, t, "COUNT")), "COUNT-ms")
+		b.ReportMetric(mean(seriesY(b, t, "MAX")), "MAX-ms")
+	}
+}
+
+// BenchmarkFigure11RefinementScore regenerates Figure 11.b.
+func BenchmarkFigure11RefinementScore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure11(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := figs[1]
+		b.ReportMetric(mean(seriesY(b, r, "SUM")), "SUM-ref")
+		b.ReportMetric(mean(seriesY(b, r, "COUNT")), "COUNT-ref")
+	}
+}
+
+// BenchmarkSkewedData regenerates the §8.4.4 skew study (Z=0 vs Z=1).
+func BenchmarkSkewedData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.SkewStudy(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mean(seriesY(b, figs[0], "ACQUIRE")), "Z0-ACQUIRE-ms")
+		b.ReportMetric(mean(seriesY(b, figs[1], "ACQUIRE")), "Z1-ACQUIRE-ms")
+	}
+}
+
+// BenchmarkJoinRefinement exercises the Table-1 capability unique to
+// ACQUIRE: refining a join predicate.
+func BenchmarkJoinRefinement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.JoinRefinementStudy(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mean(figs[0].Series[0].Y), "ACQUIRE-ms")
+	}
+}
+
+// BenchmarkAblationIncremental quantifies §5's incremental aggregate
+// computation against whole-query re-execution.
+func BenchmarkAblationIncremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.AblationIncremental(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		inc := mean(figs[0].Series[0].Y)
+		naive := mean(figs[0].Series[1].Y)
+		b.ReportMetric(inc, "incremental-ms")
+		b.ReportMetric(naive, "whole-query-ms")
+		b.ReportMetric(naive/inc, "speedup")
+	}
+}
+
+// BenchmarkAblationGridIndex quantifies the §7.4 grid bitmap index.
+func BenchmarkAblationGridIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.AblationGridIndex(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		without := mean(figs[0].Series[0].Y)
+		with := mean(figs[0].Series[1].Y)
+		b.ReportMetric(without, "noindex-ms")
+		b.ReportMetric(with, "gridindex-ms")
+	}
+}
+
+// BenchmarkEvaluationLayers compares the §3 evaluation layers (exact,
+// sampling, histogram estimation) driving the same searches.
+func BenchmarkEvaluationLayers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.EvaluationLayerStudy(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := figs[0]
+		b.ReportMetric(mean(seriesY(b, t, "exact")), "exact-ms")
+		b.ReportMetric(mean(seriesY(b, t, "sample-10%")), "sample-ms")
+		b.ReportMetric(mean(seriesY(b, t, "histogram")), "histogram-ms")
+	}
+}
+
+// BenchmarkHeadlineClaims machine-checks the §8.5 conclusions.
+func BenchmarkHeadlineClaims(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Rows = 30000 // §8.5(3) is scale-dependent; see harness.Summary docs
+	for i := 0; i < b.N; i++ {
+		claims, _, err := harness.Summary(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		holds := 0
+		for _, c := range claims {
+			if c.Holds {
+				holds++
+			}
+		}
+		b.ReportMetric(float64(holds), "claims-holding")
+		b.ReportMetric(float64(len(claims)), "claims-total")
+	}
+}
+
+// BenchmarkTable1 regenerates the capability matrix (trivially cheap;
+// present so every table and figure has a bench target).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := harness.Table1(); len(s) == 0 {
+			b.Fatal("empty Table 1")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command acqbench regenerates the paper's evaluation figures and
+// tables (§8) as text tables: Figures 8-11, the skew and join studies,
+// Table 1, and the repository's two ablations. See DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+//
+//	acqbench                         # every experiment at default scale
+//	acqbench -experiment fig8        # one experiment
+//	acqbench -rows 1000000           # paper-scale datasets
+//	acqbench -sizes 1000,10000,100000,1000000 -experiment fig10a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"acquire/internal/harness"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(harness.Config, []int) ([]harness.Figure, error)
+}
+
+var experiments = []experiment{
+	{"fig8", "Figures 8.a-8.c: ratio sweep, all methods", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.Figure8(c) }},
+	{"fig9", "Figures 9.a-9.c: dimensionality sweep, all methods", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.Figure9(c) }},
+	{"fig10a", "Figure 10.a: table-size sweep", func(c harness.Config, sizes []int) ([]harness.Figure, error) { return harness.Figure10a(c, sizes) }},
+	{"fig10b", "Figure 10.b: refinement-threshold sweep", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.Figure10b(c) }},
+	{"fig10c", "Figure 10.c: cardinality-threshold sweep", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.Figure10c(c) }},
+	{"fig11", "Figures 11.a-11.b: aggregate types (SUM/COUNT/MAX)", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.Figure11(c) }},
+	{"skew", "§8.4.4: Zipf Z=1 robustness study", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.SkewStudy(c) }},
+	{"join", "join-predicate refinement study (Table 1 capability)", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.JoinRefinementStudy(c) }},
+	{"order-sensitivity", "§8.4.1: BinSearch predicate-order instability sweep", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.OrderSensitivityStudy(c) }},
+	{"eval-layers", "evaluation layers study (§3): exact vs sampling vs histogram", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.EvaluationLayerStudy(c) }},
+	{"ablation-incremental", "incremental aggregate computation ablation (§5)", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.AblationIncremental(c) }},
+	{"ablation-gridindex", "grid bitmap index ablation (§7.4)", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.AblationGridIndex(c) }},
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "acqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("acqbench", flag.ContinueOnError)
+	var (
+		expName = fs.String("experiment", "all", "experiment to run (all, table1, summary, "+names()+")")
+		rows    = fs.Int("rows", 100000, "dataset size (the paper's headline scale is 1000000)")
+		seed    = fs.Int64("seed", 1, "generation seed")
+		delta   = fs.Float64("delta", 0.05, "aggregate error threshold δ")
+		gamma   = fs.Float64("gamma", 20, "refinement threshold γ")
+		sizesCS = fs.String("sizes", "", "comma-separated table sizes for fig10a (default 1000,10000,100000)")
+		gridK   = fs.Int("tqgen-k", 0, "TQGen grid values per predicate (default 8)")
+		rounds  = fs.Int("tqgen-rounds", 0, "TQGen zoom rounds (default 5)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := harness.Config{
+		Rows: *rows, Seed: *seed, Delta: *delta, Gamma: *gamma,
+		TQGenGridK: *gridK, TQGenRounds: *rounds,
+	}
+	var sizes []int
+	if *sizesCS != "" {
+		for _, s := range strings.Split(*sizesCS, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("-sizes: %w", err)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+
+	if *expName == "table1" || *expName == "all" {
+		fmt.Println(harness.Table1())
+	}
+	if *expName == "summary" {
+		claims, figs, err := harness.Summary(cfg)
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			fmt.Println(harness.FormatFigure(f))
+		}
+		fmt.Println(harness.FormatClaims(claims))
+		return nil
+	}
+	for _, ex := range experiments {
+		if *expName != "all" && *expName != ex.name {
+			continue
+		}
+		fmt.Printf("=== %s — %s (rows=%d, δ=%g, γ=%g) ===\n", ex.name, ex.desc, cfg.Rows, *delta, *gamma)
+		figs, err := ex.run(cfg, sizes)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.name, err)
+		}
+		for _, f := range figs {
+			fmt.Println(harness.FormatFigure(f))
+		}
+	}
+	if *expName != "all" && *expName != "table1" && *expName != "summary" && !known(*expName) {
+		return fmt.Errorf("unknown experiment %q (want all, table1, summary, %s)", *expName, names())
+	}
+	return nil
+}
+
+func names() string {
+	out := make([]string, len(experiments))
+	for i, ex := range experiments {
+		out[i] = ex.name
+	}
+	return strings.Join(out, ", ")
+}
+
+func known(name string) bool {
+	for _, ex := range experiments {
+		if ex.name == name {
+			return true
+		}
+	}
+	return false
+}

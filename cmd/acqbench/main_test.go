@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesAndKnown(t *testing.T) {
+	n := names()
+	for _, want := range []string{"fig8", "fig9", "fig10a", "fig10b", "fig10c", "fig11", "skew", "join", "ablation-incremental", "ablation-gridindex"} {
+		if !strings.Contains(n, want) {
+			t.Errorf("names missing %q", want)
+		}
+		if !known(want) {
+			t.Errorf("known(%q) = false", want)
+		}
+	}
+	if known("nonsense") {
+		t.Error("known(nonsense) = true")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// Smallest end-to-end run: fig10b at tiny scale (ACQUIRE only).
+	if err := run([]string{"-experiment", "fig10b", "-rows", "1000"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"-experiment", "table1"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFig10aWithSizes(t *testing.T) {
+	if err := run([]string{"-experiment", "fig10a", "-sizes", "500,1000", "-tqgen-k", "3", "-tqgen-rounds", "1"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSummary(t *testing.T) {
+	if err := run([]string{"-experiment", "summary", "-rows", "2000", "-tqgen-k", "4", "-tqgen-rounds", "2"}); err != nil {
+		t.Fatalf("run summary: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Error("unknown experiment: expected error")
+	}
+	if err := run([]string{"-experiment", "fig10a", "-sizes", "a,b"}); err == nil {
+		t.Error("bad sizes: expected error")
+	}
+}

@@ -1,0 +1,239 @@
+// Command acquire runs an Aggregation Constrained Query against a
+// generated or CSV-loaded dataset and prints the refined queries
+// ACQUIRE recommends.
+//
+// Examples:
+//
+//	# Generated TPC-H subset, the paper's Q2' (Example 2):
+//	acquire -dataset tpch -rows 100000 -sql "
+//	  SELECT * FROM supplier, part, partsupp
+//	  CONSTRAINT SUM(ps_availqty) >= 0.1M
+//	  WHERE (s_suppkey = ps_suppkey) NOREFINE AND
+//	        (p_partkey = ps_partkey) NOREFINE AND
+//	        (p_retailprice < 1000) AND (s_acctbal < 2000)"
+//
+//	# CSV tables (written by `acquire`'s -save or cmd/tpchgen):
+//	acquire -load users=users.csv -sql "SELECT * FROM users CONSTRAINT COUNT(*) = 1000 WHERE age <= 30"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"acquire/acq"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "acquire:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("acquire", flag.ContinueOnError)
+	var (
+		dataset = fs.String("dataset", "", "generated dataset: tpch or users (alternative to -load)")
+		rows    = fs.Int("rows", 100000, "generated dataset size")
+		zipf    = fs.Float64("zipf", 0, "Zipf skew Z for generated data (0 = uniform)")
+		seed    = fs.Int64("seed", 1, "generation seed")
+		loads   = multiFlag{}
+		sql     = fs.String("sql", "", "the ACQ statement (required)")
+		gamma   = fs.Float64("gamma", 10, "refinement threshold γ")
+		delta   = fs.Float64("delta", 0.05, "aggregate error threshold δ")
+		norm    = fs.String("norm", "l1", "refinement norm: l1, l2, linf")
+		index   = fs.String("gridindex", "", "build a §7.4 grid index: table:col1,col2[:bins]")
+		maxOut  = fs.Int("max", 5, "maximum refined queries to print")
+		taxPath = fs.String("taxonomy", "", "make a string predicate refinable: column=outline-file (§7.3)")
+		explain = fs.Bool("explain", false, "print the search trace (one line per explored refined query)")
+		show    = fs.Int("show", 0, "materialise up to N result rows of the best refined query")
+		saveDir = fs.String("save", "", "write every loaded/generated table to this directory as CSV")
+	)
+	fs.Var(&loads, "load", "load a CSV table: name=path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sql == "" {
+		return fmt.Errorf("-sql is required")
+	}
+
+	var s *acq.Session
+	var err error
+	switch *dataset {
+	case "tpch":
+		s, err = acq.NewTPCHSession(*rows, *zipf, *seed)
+	case "users":
+		s, err = acq.NewUsersSession(*rows, *zipf, *seed)
+	case "":
+		if len(loads) == 0 {
+			return fmt.Errorf("provide -dataset tpch|users or at least one -load name=path")
+		}
+		s = acq.NewSession()
+	default:
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		return err
+	}
+	for _, l := range loads {
+		name, path, ok := strings.Cut(l, "=")
+		if !ok {
+			return fmt.Errorf("-load wants name=path, got %q", l)
+		}
+		if err := s.LoadCSV(name, path); err != nil {
+			return err
+		}
+	}
+
+	if *saveDir != "" {
+		if err := os.MkdirAll(*saveDir, 0o755); err != nil {
+			return err
+		}
+		for _, name := range s.Tables() {
+			if err := s.SaveCSV(name, filepath.Join(*saveDir, name+".csv")); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *index != "" {
+		parts := strings.Split(*index, ":")
+		if len(parts) < 2 {
+			return fmt.Errorf("-gridindex wants table:col1,col2[:bins]")
+		}
+		bins := 32
+		if len(parts) == 3 {
+			if _, err := fmt.Sscanf(parts[2], "%d", &bins); err != nil {
+				return fmt.Errorf("-gridindex bins: %w", err)
+			}
+		}
+		if err := s.BuildGridIndex(parts[0], strings.Split(parts[1], ","), bins); err != nil {
+			return err
+		}
+	}
+
+	var n acq.Norm
+	switch *norm {
+	case "l1":
+		n = acq.L1Norm()
+	case "l2":
+		if n, err = acq.LpNorm(2, nil); err != nil {
+			return err
+		}
+	case "linf":
+		n = acq.LInfNorm(nil)
+	default:
+		return fmt.Errorf("unknown norm %q", *norm)
+	}
+
+	q, err := s.Parse(*sql)
+	if err != nil {
+		return err
+	}
+	if *taxPath != "" {
+		column, path, ok := strings.Cut(*taxPath, "=")
+		if !ok {
+			return fmt.Errorf("-taxonomy wants column=outline-file, got %q", *taxPath)
+		}
+		tree, err := acq.LoadTaxonomy(path)
+		if err != nil {
+			return err
+		}
+		idx := -1
+		for i := range q.Fixed {
+			if q.Fixed[i].Kind == acq.FixedStringInKind && strings.EqualFold(q.Fixed[i].Col.Column, column) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("-taxonomy: no string predicate on column %q", column)
+		}
+		q, err = s.RewriteCategorical(q, idx, tree)
+		if err != nil {
+			return err
+		}
+	}
+
+	orig, err := s.Estimate(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "original query aggregate: %.6g (target %s %.6g)\n",
+		orig, q.Constraint.Op, q.Constraint.Target)
+
+	opts := acq.Options{Gamma: *gamma, Delta: *delta, Norm: n}
+	var trace acq.TraceBuffer
+	if *explain {
+		opts.Trace = &trace
+	}
+	res, err := s.Refine(q, opts)
+	if err != nil {
+		return err
+	}
+	if *explain {
+		if _, err := trace.WriteTo(out); err != nil {
+			return err
+		}
+	}
+	st := s.Stats()
+	fmt.Fprintf(out, "explored %d refined queries via %d evaluation-layer executions (%d rows scanned)\n",
+		res.Explored, st.Queries, st.RowsScanned)
+
+	if !res.Satisfied {
+		fmt.Fprintf(out, "no refinement met the constraint within δ=%g", *delta)
+		if res.Note != "" {
+			fmt.Fprintf(out, " (%s)", res.Note)
+		}
+		fmt.Fprintln(out)
+		if res.Closest != nil {
+			fmt.Fprintf(out, "closest query (aggregate %.6g, error %.4f):\n  %s\n",
+				res.Closest.Aggregate, res.Closest.Err, res.Closest.ToSQL())
+		}
+		return nil
+	}
+
+	fmt.Fprintf(out, "%d refined quer(ies) satisfy the constraint; best %d:\n", len(res.Queries), min(*maxOut, len(res.Queries)))
+	for i, rq := range res.Queries {
+		if i >= *maxOut {
+			break
+		}
+		fmt.Fprintf(out, "%2d. QScore=%.3f aggregate=%.6g err=%.4f\n    %s\n",
+			i+1, rq.QScore, rq.Aggregate, rq.Err, rq.ToSQL())
+	}
+	if *show > 0 {
+		rs, err := s.Preview(res.Best, *show)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nfirst %d result rows of the best refined query:\n%s", len(rs.Rows), strings.Join(rs.Columns, "  "))
+		fmt.Fprintln(out)
+		for _, row := range rs.Rows {
+			for j, v := range row {
+				if j > 0 {
+					fmt.Fprint(out, "  ")
+				}
+				fmt.Fprint(out, v.String())
+			}
+			fmt.Fprintln(out)
+		}
+		if rs.Truncated {
+			fmt.Fprintln(out, "... (truncated)")
+		}
+	}
+	return nil
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

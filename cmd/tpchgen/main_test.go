@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"acquire/acq"
+)
+
+func TestGenerateTPCH(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dataset", "tpch", "-rows", "400", "-out", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"supplier", "part", "partsupp"} {
+		path := filepath.Join(dir, name+".csv")
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("missing %s: %v", path, err)
+		}
+	}
+	// Round trip: load the CSVs into a session and query them.
+	s := acq.NewSession()
+	for _, name := range []string{"supplier", "part", "partsupp"} {
+		if err := s.LoadCSV(name, filepath.Join(dir, name+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.TableRows("partsupp")
+	if err != nil || n != 400 {
+		t.Errorf("partsupp rows = %d, %v", n, err)
+	}
+	res, err := s.RefineSQL(`SELECT * FROM part CONSTRAINT COUNT(*) = 60
+		WHERE p_retailprice < 1200`, acq.Options{Gamma: 30, Delta: 0.05})
+	if err != nil {
+		t.Fatalf("refine over loaded CSVs: %v", err)
+	}
+	if !res.Satisfied && res.Closest == nil {
+		t.Errorf("refine result: %+v", res)
+	}
+}
+
+func TestGenerateUsers(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dataset", "users", "-rows", "200", "-zipf", "1", "-out", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "users.csv")); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"-dataset", "nope"}); err == nil {
+		t.Error("bad dataset: expected error")
+	}
+	if err := run([]string{"-dataset", "tpch", "-rows", "0"}); err == nil {
+		t.Error("zero rows: expected error")
+	}
+}

@@ -1,0 +1,84 @@
+// Ontology refinement: §7.3 — categorical predicates refine over a
+// taxonomy tree. Alice's campaign targets East-coast cities; when the
+// audience is too small, ACQUIRE relaxes the location predicate by
+// rolling up the geography taxonomy (nearby regions first), exactly as
+// Figure 7 sketches for cuisine and location hierarchies.
+//
+//	go run ./examples/ontology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acquire/acq"
+)
+
+func main() {
+	session, err := acq.NewUsersSession(100_000, 0, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Geography taxonomy (Figure 7.a's shape).
+	geo := acq.NewTaxonomy("US")
+	for region, cities := range map[string][]string{
+		"EastCoast": {"Boston", "New York", "Miami"},
+		"WestCoast": {"Seattle", "Portland"},
+		"Central":   {"Austin", "Chicago", "Denver"},
+	} {
+		geo.MustAdd("US", region)
+		for _, c := range cities {
+			geo.MustAdd(region, c)
+		}
+	}
+
+	const sql = `
+		SELECT * FROM users
+		CONSTRAINT COUNT(*) = 30000
+		WHERE (location IN ('Boston', 'New York')) AND age <= 30`
+	query, err := session.Parse(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reach, err := session.Estimate(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Boston/NY under-30 audience: %.0f of the 30000 needed\n\n", reach)
+
+	// Rewrite the categorical predicate into a refinable
+	// taxonomy-distance dimension: refinement score u admits users in
+	// cities within u roll-up steps of {Boston, New York}.
+	refinable, err := session.RewriteCategorical(query, 0, geo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := session.Refine(refinable, acq.Options{Gamma: 8, Delta: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !result.Satisfied {
+		log.Fatalf("no refinement found: %+v", result)
+	}
+	best := result.Best
+	fmt.Printf("best refinement reaches %.0f users (refinement %.2f):\n   %s\n\n",
+		best.Aggregate, best.QScore, best.ToSQL())
+
+	// Decode the taxonomy dimension: its score is the allowed roll-up
+	// distance.
+	for i := range refinable.Dims {
+		if refinable.Dims[i].Name != "" {
+			fmt.Printf("the '%s' dimension relaxed to distance %.1f — ", refinable.Dims[i].Name, best.Scores[i])
+			switch {
+			case best.Scores[i] < 1:
+				fmt.Println("still only the original cities")
+			case best.Scores[i] < 3:
+				fmt.Println("siblings under the same region (e.g. Miami) are now included")
+			default:
+				fmt.Println("cross-region cities are now included")
+			}
+		}
+	}
+}

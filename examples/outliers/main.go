@@ -1,0 +1,99 @@
+// Outlier analysis: the paper's third motivating scenario — "select
+// patients who had extremely high average cost" — an AVG-constrained
+// ACQ. AVG lacks direct optimal substructure but decomposes into
+// SUM/COUNT (§2.6), which ACQUIRE maintains incrementally.
+//
+// We also demonstrate the §7.2 contraction direction (too many rows)
+// and a user-defined aggregate registered at runtime.
+//
+//	go run ./examples/outliers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acquire/acq"
+)
+
+func main() {
+	// The partsupp table stands in for a claims table: ps_supplycost
+	// plays "cost per encounter".
+	session, err := acq.NewTPCHSession(80_000, 0, 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Which cost filter selects a cohort whose AVERAGE supply cost is
+	// 600? The analyst's starting filter is far too low.
+	const sql = `
+		SELECT * FROM partsupp
+		CONSTRAINT AVG(ps_supplycost) = 450
+		WHERE ps_supplycost <= 300 AND ps_availqty <= 4000`
+	query, err := session.Parse(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	avg0, err := session.Estimate(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("starting cohort has AVG cost %.1f; analyst wants cohorts around 450\n", avg0)
+
+	result, err := session.Refine(query, acq.Options{Gamma: 16, Delta: 0.03})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if result.Satisfied {
+		fmt.Printf("cohort query with AVG %.1f:\n   %s\n\n", result.Best.Aggregate, result.Best.ToSQL())
+	} else {
+		fmt.Printf("no cohort within tolerance; closest AVG %.1f\n\n", result.Closest.Aggregate)
+	}
+
+	// Contraction (§7.2): the inverse problem. This filter returns far
+	// too many rows for a manual chart review — shrink it to at most 20000.
+	const wide = `
+		SELECT * FROM partsupp
+		CONSTRAINT COUNT(*) <= 20000
+		WHERE ps_supplycost <= 800`
+	cq, err := session.Parse(wide)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n0, err := session.Estimate(cq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cres, err := session.Refine(cq, acq.Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cres.Satisfied {
+		fmt.Printf("contraction: %0.f rows -> %0.f rows via\n   %s\n\n",
+			n0, cres.Best.Aggregate, cres.Best.ToSQL())
+	}
+
+	// A user-defined OSP aggregate: total squared cost, a dispersion
+	// proxy that still merges across disjoint parts (§2.6(b)).
+	if err := acq.RegisterUDA(acq.UDA{
+		Name:  "SUMSQ",
+		Map:   func(v float64) float64 { return v * v },
+		Final: func(p acq.Partial) float64 { return p.User },
+	}); err != nil {
+		log.Fatal(err)
+	}
+	uq, err := session.Parse(`
+		SELECT * FROM partsupp
+		CONSTRAINT SUMSQ(ps_supplycost) >= 2B
+		WHERE ps_supplycost <= 250`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ures, err := session.Refine(uq, acq.Options{Gamma: 12, Delta: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ures.Satisfied {
+		fmt.Printf("UDA constraint met at SUMSQ %.3g:\n   %s\n", ures.Best.Aggregate, ures.Best.ToSQL())
+	}
+}

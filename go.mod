@@ -1,0 +1,3 @@
+module acquire
+
+go 1.22

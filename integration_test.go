@@ -1,0 +1,294 @@
+// Package repro_test's integration tests exercise whole-system flows
+// across module boundaries: SQL text → refinement → rendered SQL →
+// re-execution, Definition 1's guarantees checked against exhaustive
+// grid search, frontier/explorer equivalences, and failure injection.
+package repro_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"acquire/acq"
+)
+
+// TestDefinitionOneAgainstExhaustive2D validates Definition 1 on a 2-D
+// refined space by brute force: enumerate every grid point, find the
+// optimal satisfying layer, and check that ACQUIRE's answers (a) meet
+// δ and (b) sit within γ of that optimum.
+func TestDefinitionOneAgainstExhaustive2D(t *testing.T) {
+	s, err := acq.NewUsersSession(20_000, 0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const gamma, delta = 12.0, 0.04
+	sql := `SELECT * FROM users CONSTRAINT COUNT(*) = 5000
+		WHERE age <= 30 AND income <= 60000`
+	q, err := s.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Refine(q, acq.Options{Gamma: gamma, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("refinement failed: %+v", res)
+	}
+
+	// Exhaustive: walk the grid up to a comfortable bound, executing
+	// every point directly via calibrated clones.
+	step := gamma / 2
+	opt := math.Inf(1)
+	for u1 := 0; u1 <= 40; u1++ {
+		for u2 := 0; u2 <= 40; u2++ {
+			scores := []float64{float64(u1) * step, float64(u2) * step}
+			clone := q.Clone()
+			for i := range clone.Dims {
+				clone.Dims[i].Bound = clone.Dims[i].BoundAt(scores[i])
+			}
+			actual, err := s.Estimate(clone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(actual-q.Constraint.Target)/q.Constraint.Target <= delta {
+				if qs := scores[0] + scores[1]; qs < opt {
+					opt = qs
+				}
+			}
+		}
+	}
+	if math.IsInf(opt, 1) {
+		t.Skip("no grid point satisfies at this seed; nothing to compare")
+	}
+	for _, rq := range res.Queries {
+		if rq.Err > delta+1e-12 {
+			t.Errorf("answer err %v > δ", rq.Err)
+		}
+		if rq.QScore > opt+gamma+1e-9 {
+			t.Errorf("answer QScore %v exceeds optimum %v + γ", rq.QScore, opt)
+		}
+	}
+	if res.Best.QScore > opt+1e-9 {
+		t.Errorf("best answer %v worse than exhaustive optimum %v (grid answers must match)", res.Best.QScore, opt)
+	}
+}
+
+// TestRefinedSQLReExecutes closes the loop: the SQL text ACQUIRE
+// renders, parsed and executed as an ordinary query, must attain the
+// aggregate the search reported.
+func TestRefinedSQLReExecutes(t *testing.T) {
+	s, err := acq.NewTPCHSession(20_000, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RefineSQL(`SELECT * FROM supplier, part, partsupp
+		CONSTRAINT SUM(ps_availqty) >= 9M
+		WHERE (s_suppkey = ps_suppkey) NOREFINE AND
+		      (p_partkey = ps_partkey) NOREFINE AND
+		      (p_retailprice < 1300) AND (s_acctbal < 2500)`,
+		acq.Options{Gamma: 30, Delta: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("not satisfied: %+v", res)
+	}
+	for i, rq := range res.Queries {
+		// Re-attach a constraint clause so the parser accepts the
+		// rendered refined query (CONSTRAINT goes between FROM and WHERE).
+		rendered := strings.Replace(rq.ToSQL(), " WHERE ", " CONSTRAINT SUM(ps_availqty) >= 1 WHERE ", 1)
+		q2, err := s.Parse(rendered)
+		if err != nil {
+			t.Fatalf("answer %d: reparse %q: %v", i, rendered, err)
+		}
+		actual, err := s.Estimate(q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(actual-rq.Aggregate) > 1e-6*(1+rq.Aggregate) {
+			t.Errorf("answer %d: re-executed aggregate %v != reported %v\n%s", i, actual, rq.Aggregate, rendered)
+		}
+	}
+}
+
+// TestFrontiersAgreeOnBest: BFS (Algorithm 1), the L∞ layer enumerator
+// (Algorithm 2) under an equivalent norm, and the priority frontier
+// must all find answers of identical optimal L1/L∞ cost on the same
+// problem.
+func TestFrontiersAgreeOnBest(t *testing.T) {
+	s, err := acq.NewUsersSession(10_000, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func() *acq.Query {
+		q, err := s.Parse(`SELECT * FROM users CONSTRAINT COUNT(*) = 3000
+			WHERE age <= 30 AND income <= 60000`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	bfs, err := s.Refine(parse(), acq.Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := acq.LpNorm(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := s.Refine(parse(), acq.Options{Gamma: 10, Delta: 0.05, Norm: l2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linf, err := s.Refine(parse(), acq.Options{Gamma: 10, Delta: 0.05, Norm: acq.LInfNorm(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bfs.Satisfied || !prio.Satisfied || !linf.Satisfied {
+		t.Fatalf("satisfaction differs: %v %v %v", bfs.Satisfied, prio.Satisfied, linf.Satisfied)
+	}
+	// The same grid is searched; the best point under each norm must
+	// itself satisfy the constraint and be on the grid. Cross-check:
+	// BFS's best point evaluated under L2 cannot beat the L2 search's
+	// best (and vice versa).
+	l2OfBFS := l2.Score(bfs.Best.Scores)
+	if l2OfBFS < prio.Best.QScore-1e-9 {
+		t.Errorf("L2 search missed a better point: BFS best has L2 %v < %v", l2OfBFS, prio.Best.QScore)
+	}
+	l1 := acq.L1Norm()
+	l1OfPrio := l1.Score(prio.Best.Scores)
+	if l1OfPrio < bfs.Best.QScore-1e-9 {
+		t.Errorf("BFS missed a better point: L2 best has L1 %v < %v", l1OfPrio, bfs.Best.QScore)
+	}
+}
+
+// TestFullPipelineWithEverything combines the extensions: a taxonomy
+// rewrite, a registered UDA constraint, a weighted norm, and a grid
+// index — all in one search.
+func TestFullPipelineWithEverything(t *testing.T) {
+	s, err := acq.NewUsersSession(15_000, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acq.RegisterUDA(acq.UDA{
+		Name:  "INTEG_SPEND",
+		Map:   func(v float64) float64 { return v },
+		Final: func(p acq.Partial) float64 { return p.User },
+	}); err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+
+	geo := acq.NewTaxonomy("US")
+	geo.MustAdd("US", "East")
+	geo.MustAdd("US", "West")
+	geo.MustAdd("US", "Central")
+	for region, cities := range map[string][]string{
+		"East": {"Boston", "New York", "Miami"}, "West": {"Seattle", "Portland"},
+		"Central": {"Austin", "Chicago", "Denver"},
+	} {
+		for _, c := range cities {
+			geo.MustAdd(region, c)
+		}
+	}
+
+	q, err := s.Parse(`SELECT * FROM users
+		CONSTRAINT INTEG_SPEND(spend) >= 2M
+		WHERE location IN ('Boston', 'New York') AND age <= 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err = s.RewriteCategorical(q, 0, geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BuildGridIndex("users", []string{"age"}, 32); err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, len(q.Dims))
+	weights[len(weights)-1] = 2 // discourage taxonomy roll-up
+	norm, err := acq.LpNorm(1, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Refine(q, acq.Options{Gamma: 10, Delta: 0.05, Norm: norm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied && res.Closest == nil {
+		t.Fatalf("pipeline produced nothing: %+v", res)
+	}
+	if res.Satisfied && res.Best.Aggregate < 2e6*(1-0.05) {
+		t.Errorf("aggregate %v below hinge tolerance", res.Best.Aggregate)
+	}
+}
+
+// TestFailureInjection: evaluation-layer and input failures must
+// surface as errors, not panics or silent wrong answers.
+func TestFailureInjection(t *testing.T) {
+	s, err := acq.NewUsersSession(1000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dimension referencing a dropped/unknown column, injected after
+	// parse (simulating schema drift between parse and execution).
+	q, err := s.Parse(`SELECT * FROM users CONSTRAINT COUNT(*) = 500 WHERE age <= 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Dims[0].Col.Column = "vanished"
+	if _, err := s.Refine(q, acq.Options{}); err == nil {
+		t.Error("schema drift: expected error")
+	}
+
+	// Constraint aggregate over a TEXT column.
+	q2, err := s.Parse(`SELECT * FROM users CONSTRAINT COUNT(*) = 500 WHERE age <= 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2.Constraint = acq.Constraint{Func: acq.AggSum,
+		Attr: acq.ColumnRef{Table: "users", Column: "gender"}, Op: acq.CmpGE, Target: 1}
+	if _, err := s.Refine(q2, acq.Options{}); err == nil {
+		t.Error("SUM over TEXT: expected error")
+	}
+
+	// UDA vanishing between SpecFor and Final is impossible through
+	// the public API; unknown UDA at parse time must error.
+	if _, err := s.RefineSQL(`SELECT * FROM users CONSTRAINT NO_SUCH_UDA(age) = 5 WHERE age <= 30`,
+		acq.Options{}); err == nil {
+		t.Error("unknown UDA: expected error")
+	}
+}
+
+// TestDeterminism: identical seeds and options yield identical results,
+// including the full answer set and its ordering.
+func TestDeterminism(t *testing.T) {
+	runOnce := func() *acq.Result {
+		s, err := acq.NewUsersSession(8_000, 0, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RefineSQL(`SELECT * FROM users CONSTRAINT COUNT(*) = 2500
+			WHERE age <= 30 AND income <= 60000 AND distance <= 40`,
+			acq.Options{Gamma: 15, Delta: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runOnce(), runOnce()
+	if a.Satisfied != b.Satisfied || a.Explored != b.Explored || len(a.Queries) != len(b.Queries) {
+		t.Fatalf("nondeterministic result shape: %+v vs %+v", a, b)
+	}
+	for i := range a.Queries {
+		if a.Queries[i].QScore != b.Queries[i].QScore || a.Queries[i].Aggregate != b.Queries[i].Aggregate {
+			t.Errorf("answer %d differs across runs", i)
+		}
+		for j := range a.Queries[i].Scores {
+			if a.Queries[i].Scores[j] != b.Queries[i].Scores[j] {
+				t.Errorf("answer %d score %d differs", i, j)
+			}
+		}
+	}
+}

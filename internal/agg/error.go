@@ -1,0 +1,80 @@
+package agg
+
+import (
+	"math"
+
+	"acquire/internal/relq"
+)
+
+// ErrorFunc measures the aggregate error Err_A between the expected
+// (target) and actual aggregate values (§2.5). Implementations must be
+// non-negative and zero when the constraint is exactly met.
+type ErrorFunc func(expected, actual float64) float64
+
+// RelativeError is Eq. 4: |A_exp − A_actual| / A_exp. It is the
+// appropriate default for COUNT and AVG constraints.
+func RelativeError(expected, actual float64) float64 {
+	if math.IsNaN(actual) {
+		return math.Inf(1) // empty result: no aggregate value at all
+	}
+	if expected == 0 {
+		if actual == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(expected-actual) / expected
+}
+
+// HingeError penalises only undershoot (§2.5's one-sided measure for
+// SUM/MIN/MAX with >= constraints), normalised by the target so it is
+// comparable with the δ threshold:
+//
+//	Err = max(0, (A_exp − A_actual)) / A_exp
+func HingeError(expected, actual float64) float64 {
+	if math.IsNaN(actual) {
+		return math.Inf(1)
+	}
+	if actual >= expected {
+		return 0
+	}
+	if expected == 0 {
+		return 0
+	}
+	return (expected - actual) / expected
+}
+
+// DefaultError returns the paper's sensible-default error function for
+// the constraint: relative error for = constraints on COUNT/AVG, hinge
+// for inequality constraints and for SUM/MIN/MAX (§2.5).
+func DefaultError(c relq.Constraint) ErrorFunc {
+	if c.Op == relq.CmpGE || c.Op == relq.CmpGT {
+		return HingeError
+	}
+	switch c.Func {
+	case relq.AggSum, relq.AggMin, relq.AggMax:
+		return HingeError
+	default:
+		return RelativeError
+	}
+}
+
+// Satisfied reports whether actual meets the constraint within δ under
+// the error function.
+func Satisfied(errFn ErrorFunc, expected, actual, delta float64) bool {
+	return errFn(expected, actual) <= delta
+}
+
+// Overshoots reports whether the actual aggregate exceeds the target by
+// more than δ in relative terms — the trigger for cell repartitioning
+// (§6). Only meaningful for monotone aggregates with =-constraints;
+// hinge-error constraints never overshoot.
+func Overshoots(c relq.Constraint, actual, delta float64) bool {
+	if c.Op != relq.CmpEQ {
+		return false
+	}
+	if math.IsNaN(actual) || c.Target == 0 {
+		return false
+	}
+	return (actual-c.Target)/c.Target > delta
+}

@@ -1,0 +1,85 @@
+package agg
+
+import "math"
+
+// StandardUDAs returns a library of ready-made user-defined aggregates,
+// each satisfying the optimal substructure property of §2.6(b): the
+// per-tuple contribution is additive across disjoint parts and the
+// final function combines only accumulated summaries.
+//
+// Register the ones a deployment needs:
+//
+//	for _, u := range agg.StandardUDAs() {
+//	    _ = agg.RegisterUDA(u) // ignore duplicates on re-init
+//	}
+func StandardUDAs() []UDA {
+	return []UDA{
+		{
+			// SUMSQ: total squared value; with SUM and COUNT it yields
+			// variance-style dispersion without violating OSP the way
+			// direct STDDEV would.
+			Name:  "SUMSQ",
+			Map:   func(v float64) float64 { return v * v },
+			Final: func(p Partial) float64 { return p.User },
+		},
+		{
+			// L2NORM: Euclidean norm of the attribute vector.
+			Name:  "L2NORM",
+			Map:   func(v float64) float64 { return v * v },
+			Final: func(p Partial) float64 { return math.Sqrt(p.User) },
+		},
+		{
+			// SUMABS: total magnitude.
+			Name:  "SUMABS",
+			Map:   math.Abs,
+			Final: func(p Partial) float64 { return p.User },
+		},
+		{
+			// RMS: root mean square — decomposes into SUMSQ and COUNT,
+			// both OSP, exactly the §2.6 AVG pattern.
+			Name: "RMS",
+			Map:  func(v float64) float64 { return v * v },
+			Final: func(p Partial) float64 {
+				if p.Count == 0 {
+					return math.NaN()
+				}
+				return math.Sqrt(p.User / float64(p.Count))
+			},
+		},
+		{
+			// COUNTPOS: how many tuples have a positive attribute.
+			Name: "COUNTPOS",
+			Map: func(v float64) float64 {
+				if v > 0 {
+					return 1
+				}
+				return 0
+			},
+			Final: func(p Partial) float64 { return p.User },
+		},
+		{
+			// LOGSUM: sum of log1p values — a diminishing-returns
+			// "utility" total used in budget-style constraints.
+			Name:  "LOGSUM",
+			Map:   func(v float64) float64 { return math.Log1p(math.Max(v, 0)) },
+			Final: func(p Partial) float64 { return p.User },
+		},
+	}
+}
+
+// RegisterStandardUDAs registers every standard UDA, skipping names
+// already present (safe to call from multiple initialisers).
+func RegisterStandardUDAs() {
+	registered := make(map[string]struct{})
+	for _, n := range RegisteredUDAs() {
+		registered[n] = struct{}{}
+	}
+	for _, u := range StandardUDAs() {
+		if _, dup := registered[u.Name]; dup {
+			continue
+		}
+		// Name/Map/Final are always set for library UDAs; the only
+		// error is duplication, raced registrations included.
+		_ = RegisterUDA(u)
+	}
+}

@@ -1,0 +1,113 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"acquire/internal/relq"
+)
+
+func specForUDA(t *testing.T, name string) Spec {
+	t.Helper()
+	spec, err := SpecFor(relq.Constraint{
+		Func: relq.AggUser, UserName: name,
+		Attr: relq.ColumnRef{Table: "t", Column: "x"}, Op: relq.CmpGE, Target: 1,
+	})
+	if err != nil {
+		t.Fatalf("SpecFor(%s): %v", name, err)
+	}
+	return spec
+}
+
+func cleanupStandardUDAs(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		for _, u := range StandardUDAs() {
+			UnregisterUDA(u.Name)
+		}
+	})
+}
+
+func TestStandardUDAValues(t *testing.T) {
+	cleanupStandardUDAs(t)
+	RegisterStandardUDAs()
+	vals := []float64{3, -4, 0, 12}
+
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"SUMSQ", 9 + 16 + 0 + 144},
+		{"L2NORM", 13}, // sqrt(169)
+		{"SUMABS", 19},
+		{"RMS", math.Sqrt(169.0 / 4)},
+		{"COUNTPOS", 2},
+		{"LOGSUM", math.Log1p(3) + math.Log1p(0) + math.Log1p(0) + math.Log1p(12)},
+	}
+	for _, c := range cases {
+		spec := specForUDA(t, c.name)
+		p := Zero()
+		for _, v := range vals {
+			spec.StepValue(&p, v)
+		}
+		if got := spec.Final(p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Property (§2.6(b)): every standard UDA merges across disjoint parts:
+// Final(fold(all)) == Final(Merge(fold(part1), fold(part2))).
+func TestStandardUDAsSatisfyOSP(t *testing.T) {
+	cleanupStandardUDAs(t)
+	RegisterStandardUDAs()
+	for _, u := range StandardUDAs() {
+		spec := specForUDA(t, u.Name)
+		f := func(vals []float64, splitAt uint) bool {
+			clampDomain(vals)
+			if len(vals) == 0 {
+				return true
+			}
+			k := int(splitAt % uint(len(vals)))
+			whole := Zero()
+			for _, v := range vals {
+				spec.StepValue(&whole, v)
+			}
+			p1, p2 := Zero(), Zero()
+			for _, v := range vals[:k] {
+				spec.StepValue(&p1, v)
+			}
+			for _, v := range vals[k:] {
+				spec.StepValue(&p2, v)
+			}
+			a, b := spec.Final(whole), spec.Final(Merge(p1, p2))
+			if math.IsNaN(a) && math.IsNaN(b) {
+				return true
+			}
+			return math.Abs(a-b) <= 1e-6*(1+math.Abs(a))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", u.Name, err)
+		}
+	}
+}
+
+func TestRegisterStandardUDAsIdempotent(t *testing.T) {
+	cleanupStandardUDAs(t)
+	RegisterStandardUDAs()
+	before := len(RegisteredUDAs())
+	RegisterStandardUDAs() // second call must not error or duplicate
+	if after := len(RegisteredUDAs()); after != before {
+		t.Errorf("re-registration changed count: %d -> %d", before, after)
+	}
+}
+
+func TestRMSEmpty(t *testing.T) {
+	cleanupStandardUDAs(t)
+	RegisterStandardUDAs()
+	spec := specForUDA(t, "RMS")
+	if got := spec.Final(Zero()); !math.IsNaN(got) {
+		t.Errorf("RMS(empty) = %v, want NaN", got)
+	}
+}

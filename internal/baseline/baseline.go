@@ -1,0 +1,119 @@
+// Package baseline implements the three comparison techniques of §8.2,
+// each extended as the paper describes to address the ACQ problem, and
+// each running against the same exec.Engine evaluation layer as
+// ACQUIRE so execution-time comparisons count identical work:
+//
+//   - Top-k: ORDER BY the normalized-violation expression LIMIT A_exp
+//     (tuple-oriented; COUNT only; no join refinement; no query output).
+//   - BinSearch [Mishra, Koudas, Zuzarte; SIGMOD'08]: per-predicate
+//     binary search toward the target cardinality, sensitive to
+//     predicate order.
+//   - TQGen [same source]: iterative grid search over predicate-value
+//     combinations, executing k^d whole queries per zoom round.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"acquire/internal/agg"
+	"acquire/internal/exec"
+	"acquire/internal/relq"
+)
+
+// Outcome is the uniform result record the harness compares across
+// methods.
+type Outcome struct {
+	// Method names the technique.
+	Method string
+	// Satisfied reports whether the aggregate landed within δ.
+	Satisfied bool
+	// Aggregate is the attained aggregate value.
+	Aggregate float64
+	// Err is the aggregate error against the constraint target.
+	Err float64
+	// Scores is the induced per-dimension refinement (PScore units);
+	// nil when the method does not produce a refined query (Top-k
+	// produces tuples, and its induced refinement is the bounding
+	// expansion of the selected set).
+	Scores []float64
+	// QScore is the L1 refinement score of Scores — the paper's
+	// cross-method comparison metric (Figures 8.c, 9.c).
+	QScore float64
+	// Executions counts evaluation-layer query executions.
+	Executions int64
+}
+
+func l1(scores []float64) float64 {
+	s := 0.0
+	for _, v := range scores {
+		s += v
+	}
+	return s
+}
+
+// maxScores computes each dimension's domain-spanning refinement score,
+// shared search-bound logic for BinSearch and TQGen.
+func maxScores(e *exec.Engine, q *relq.Query) ([]float64, error) {
+	cat := e.Catalog()
+	stats := func(ref relq.ColumnRef) (minV, maxV float64, err error) {
+		t, err := cat.Table(ref.Table)
+		if err != nil {
+			return 0, 0, err
+		}
+		ord := t.Schema().Ordinal(ref.Column)
+		if ord < 0 {
+			return 0, 0, fmt.Errorf("baseline: table %s has no column %q", ref.Table, ref.Column)
+		}
+		s, err := t.Stats(ord)
+		if err != nil {
+			return 0, 0, err
+		}
+		return s.Min, s.Max, nil
+	}
+	out := make([]float64, len(q.Dims))
+	for i := range q.Dims {
+		d := &q.Dims[i]
+		switch d.Kind {
+		case relq.SelectLE:
+			_, maxV, err := stats(d.Col)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d.Violation(maxV)
+		case relq.SelectGE:
+			minV, _, err := stats(d.Col)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d.Violation(minV)
+		case relq.SelectEQ:
+			minV, maxV, err := stats(d.Col)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Max(d.Violation(minV), d.Violation(maxV))
+		case relq.JoinBand:
+			lMin, lMax, err := stats(d.Left)
+			if err != nil {
+				return nil, err
+			}
+			rMin, rMax, err := stats(d.Right)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Max(d.JoinViolation(lMax, rMin), d.JoinViolation(lMin, rMax))
+		}
+	}
+	return out, nil
+}
+
+// evalAt executes the whole refined query at the score vector and
+// returns the aggregate value.
+func evalAt(e *exec.Engine, q *relq.Query, spec agg.Spec, scores []float64) (float64, error) {
+	p, err := e.Aggregate(q, relq.PrefixRegion(scores))
+	if err != nil {
+		return 0, err
+	}
+	return spec.Final(p), nil
+}

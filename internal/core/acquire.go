@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"acquire/internal/agg"
+	"acquire/internal/norms"
+	"acquire/internal/relq"
+)
+
+// FrontierKind selects the Expand phase's query generator.
+type FrontierKind uint8
+
+const (
+	// FrontierAuto picks BFS for L1, the layer enumerator for L∞, and
+	// the priority frontier for everything else.
+	FrontierAuto FrontierKind = iota
+	// FrontierBFS forces Algorithm 1 (valid for L1; ablation hook).
+	FrontierBFS
+	// FrontierLInfLayers forces Algorithm 2.
+	FrontierLInfLayers
+	// FrontierPriority forces the monotone-norm priority frontier.
+	FrontierPriority
+)
+
+// Options tunes ACQUIRE. The zero value gets the paper's sensible
+// defaults (§2.3, §8: γ=10, δ=0.05, L1 norm, b=8 repartition rounds).
+type Options struct {
+	// Gamma is the refinement proximity threshold γ of Definition 1;
+	// the grid step is γ/d (Theorem 1). Default 10.
+	Gamma float64
+	// Delta is the aggregate error threshold δ of Definition 1.
+	// Default 0.05.
+	Delta float64
+	// Norm is the QScore function (§2.3). Default L1.
+	Norm norms.Norm
+	// ErrFn overrides the aggregate error function (§2.5). Default:
+	// agg.DefaultError for the constraint.
+	ErrFn agg.ErrorFunc
+	// RepartitionDepth is b, the number of cell-repartitioning
+	// iterations on overshoot (§6). Default 8.
+	RepartitionDepth int
+	// MaxExplored caps the number of grid queries investigated, so an
+	// unsatisfiable constraint terminates. Default 100000.
+	MaxExplored int
+	// NoIncremental disables the Explore phase's incremental aggregate
+	// computation, re-executing every refined query whole — the
+	// ablation quantifying §5's contribution.
+	NoIncremental bool
+	// Frontier overrides frontier selection.
+	Frontier FrontierKind
+	// Trace, when set, receives one event per explored grid query
+	// (cmd/acquire -explain; tests).
+	Trace Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Gamma == 0 {
+		o.Gamma = 10
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.05
+	}
+	if o.Norm == nil {
+		o.Norm = norms.L1{}
+	}
+	if o.RepartitionDepth == 0 {
+		o.RepartitionDepth = 8
+	}
+	if o.MaxExplored == 0 {
+		o.MaxExplored = 100000
+	}
+	return o
+}
+
+// Result is the output of a refinement search.
+type Result struct {
+	// Queries are the satisfying refined queries of the minimal layer
+	// (Definition 1), sorted by ascending QScore.
+	Queries []relq.RefinedQuery
+	// Best is Queries[0] when Satisfied.
+	Best *relq.RefinedQuery
+	// Satisfied reports whether any refined query met the constraint
+	// within δ.
+	Satisfied bool
+	// Closest is the query attaining the smallest aggregate error —
+	// returned per §6 when no query satisfies the constraint.
+	Closest *relq.RefinedQuery
+	// Explored counts grid queries investigated; CellQueries counts
+	// evaluation-layer executions (cells in incremental mode).
+	Explored    int
+	CellQueries int
+	// StoredPoints is the size of the sub-aggregate store.
+	StoredPoints int
+	// Exhausted is set when the search hit MaxExplored or ran out of
+	// grid before satisfying the constraint.
+	Exhausted bool
+	// Note carries a human-readable diagnostic (e.g. "original query
+	// already overshoots; use contraction").
+	Note string
+}
+
+// Run executes ACQUIRE on the query against the engine.
+//
+// Constraints with <=/< comparison denote the inverse problem — the
+// query returns too much — and are routed to the §7.2 contraction
+// search automatically.
+func Run(e Evaluator, q *relq.Query, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !agg.HasOSP(q.Constraint.Func) {
+		return nil, fmt.Errorf("core: aggregate %s lacks the optimal substructure property (§2.6)", q.Constraint.Func)
+	}
+	if q.Constraint.Op == relq.CmpLE || q.Constraint.Op == relq.CmpLT {
+		return Contract(e, q, opts)
+	}
+	if c, ok := opts.Norm.(norms.Custom); ok {
+		if err := norms.CheckMonotone(c, q.NumDims(), 256, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	domain, err := domainScores(e, q)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := newSpace(q, opts.Gamma, domain)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := agg.SpecFor(q.Constraint)
+	if err != nil {
+		return nil, err
+	}
+	errFn := opts.ErrFn
+	if errFn == nil {
+		errFn = agg.DefaultError(q.Constraint)
+	}
+
+	fr, err := makeFrontier(opts, sp)
+	if err != nil {
+		return nil, err
+	}
+	x := newExplorer(e, q, sp, spec, !opts.NoIncremental)
+	return runSearch(q, sp, fr, x, spec, errFn, opts)
+}
+
+// runSearch is Algorithm 4: iterate Expand and Explore until the first
+// satisfying layer is fully investigated.
+func runSearch(q *relq.Query, sp *space, fr frontier, x *explorer, spec agg.Spec, errFn agg.ErrorFunc, opts Options) (*Result, error) {
+	res := &Result{}
+	target := q.Constraint.Target
+	const eps = 1e-9
+
+	bestLayer := math.Inf(1) // minRefLayer: QScore of the first satisfying layer
+	var closestErr = math.Inf(1)
+
+	// Layer tracking for the monotone-overshoot early exit.
+	layerScore := math.Inf(-1)
+	layerAllOvershoot := true
+	monotoneEQ := spec.Monotone() && q.Constraint.Op == relq.CmpEQ
+
+	record := func(rq relq.RefinedQuery) {
+		res.Queries = append(res.Queries, rq)
+		if rq.QScore < bestLayer {
+			bestLayer = rq.QScore
+		}
+	}
+
+	for {
+		pt, ok := fr.next()
+		if !ok {
+			res.Exhausted = len(res.Queries) == 0
+			break
+		}
+		scores := pt.scores(sp.step)
+		qs := opts.Norm.Score(scores)
+
+		// Layer boundary bookkeeping.
+		if qs > layerScore+eps {
+			if monotoneEQ && layerAllOvershoot && !math.IsInf(layerScore, -1) {
+				// Every query of the previous layer overshot a
+				// monotone aggregate: deeper layers only overshoot
+				// more. Stop (§6's repartitioning already probed the
+				// cells).
+				res.Exhausted = len(res.Queries) == 0
+				if res.Note == "" {
+					res.Note = "all queries in a layer overshoot a monotone aggregate; expansion cannot help"
+				}
+				break
+			}
+			layerScore = qs
+			layerAllOvershoot = true
+		}
+
+		// Stop once past the first satisfying layer (Alg. 4's
+		// currRefLayer <= minRefLayer loop condition).
+		if len(res.Queries) > 0 && qs > bestLayer+eps {
+			break
+		}
+		if res.Explored >= opts.MaxExplored {
+			res.Exhausted = true
+			res.Note = "exploration budget exhausted"
+			break
+		}
+		res.Explored++
+
+		partial, err := x.aggregate(pt)
+		if err != nil {
+			return nil, err
+		}
+		actual := spec.Final(partial)
+		ev := errFn(target, actual)
+
+		rq := relq.RefinedQuery{
+			Base: q, Scores: scores, QScore: qs, Aggregate: actual, Err: ev,
+		}
+		if ev < closestErr-eps || (math.Abs(ev-closestErr) <= eps && res.Closest != nil && qs < res.Closest.QScore) {
+			closestErr = ev
+			c := rq
+			res.Closest = &c
+		}
+
+		overshoots := agg.Overshoots(q.Constraint, actual, opts.Delta)
+		if !overshoots {
+			layerAllOvershoot = false
+		}
+
+		repartitioned := false
+		switch {
+		case ev <= opts.Delta:
+			record(rq)
+		case overshoots:
+			// §6: repartition the cell for b iterations.
+			if sub, found, err := repartition(x, sp, pt, spec, errFn, target, opts, q); err != nil {
+				return nil, err
+			} else if found {
+				record(sub)
+				repartitioned = true
+			}
+		}
+		if opts.Trace != nil {
+			opts.Trace.Event(TraceEvent{
+				Seq: res.Explored - 1, Scores: scores, QScore: qs,
+				Aggregate: actual, Err: ev,
+				Outcome: classify(ev <= opts.Delta, overshoots, repartitioned),
+			})
+		}
+	}
+
+	sort.Slice(res.Queries, func(i, j int) bool {
+		if res.Queries[i].QScore != res.Queries[j].QScore {
+			return res.Queries[i].QScore < res.Queries[j].QScore
+		}
+		return res.Queries[i].Err < res.Queries[j].Err
+	})
+	if len(res.Queries) > 0 {
+		res.Satisfied = true
+		res.Best = &res.Queries[0]
+	}
+	res.CellQueries = x.cellQueries
+	res.StoredPoints = x.storedPoints()
+	return res, nil
+}
+
+// repartition is the §6 overshoot handling: the satisfying refinement
+// lies inside the cell below pt (between the previous grid layer and
+// pt). Binary-search the cell diagonal for b iterations, executing the
+// whole refined query at each probe (off-grid points cannot reuse the
+// sub-aggregate store).
+func repartition(x *explorer, sp *space, pt point, spec agg.Spec, errFn agg.ErrorFunc, target float64, opts Options, q *relq.Query) (relq.RefinedQuery, bool, error) {
+	if !spec.Monotone() {
+		return relq.RefinedQuery{}, false, nil
+	}
+	hi := pt.scores(sp.step)
+	lo := make([]float64, len(hi))
+	corner := make(point, len(pt))
+	atOrigin := true
+	for i, c := range pt {
+		if c > 0 {
+			lo[i] = float64(c-1) * sp.step
+			corner[i] = c - 1
+			atOrigin = false
+		}
+	}
+	if atOrigin {
+		// The original query itself overshoots; expansion cannot fix
+		// it (contraction problem, §7.2).
+		return relq.RefinedQuery{}, false, nil
+	}
+	// Every query in the cell dominates the cell's lower corner, so if
+	// the corner already overshoots, the whole cell does: the crossing
+	// surface is not here and the binary search would waste b whole
+	// executions. The corner is a contained grid point, so its
+	// aggregate is already in the incremental store (Theorem 3) — the
+	// check costs nothing.
+	if x.incremental {
+		cornerParts, err := x.computeAll(corner)
+		if err != nil {
+			return relq.RefinedQuery{}, false, err
+		}
+		cornerVal := spec.Final(cornerParts[x.sp.dims])
+		if agg.Overshoots(q.Constraint, cornerVal, opts.Delta) {
+			return relq.RefinedQuery{}, false, nil
+		}
+	}
+	mid := make([]float64, len(hi))
+	for iter := 0; iter < opts.RepartitionDepth; iter++ {
+		for i := range mid {
+			mid[i] = (lo[i] + hi[i]) / 2
+		}
+		partial, err := x.directAggregate(mid)
+		if err != nil {
+			return relq.RefinedQuery{}, false, err
+		}
+		actual := spec.Final(partial)
+		ev := errFn(target, actual)
+		if ev <= opts.Delta {
+			scores := append([]float64(nil), mid...)
+			return relq.RefinedQuery{
+				Base: q, Scores: scores, QScore: opts.Norm.Score(scores),
+				Aggregate: actual, Err: ev,
+			}, true, nil
+		}
+		if agg.Overshoots(q.Constraint, actual, opts.Delta) {
+			copy(hi, mid)
+		} else {
+			copy(lo, mid)
+		}
+	}
+	return relq.RefinedQuery{}, false, nil
+}
+
+func makeFrontier(opts Options, sp *space) (frontier, error) {
+	kind := opts.Frontier
+	if kind == FrontierAuto {
+		switch {
+		case opts.Norm.Infinite():
+			kind = FrontierLInfLayers
+		case isPlainL1(opts.Norm):
+			kind = FrontierBFS
+		default:
+			kind = FrontierPriority
+		}
+	}
+	switch kind {
+	case FrontierBFS:
+		if !isPlainL1(opts.Norm) {
+			return nil, fmt.Errorf("core: BFS frontier (Algorithm 1) is only order-correct for the L1 norm; use FrontierPriority for %s", opts.Norm.Name())
+		}
+		return newBFSFrontier(sp), nil
+	case FrontierLInfLayers:
+		if !opts.Norm.Infinite() {
+			return nil, fmt.Errorf("core: L∞ layer frontier (Algorithm 2) requires an L∞ norm")
+		}
+		return newLInfFrontier(sp), nil
+	case FrontierPriority:
+		n := opts.Norm
+		return newPriorityFrontier(sp, func(p point) float64 {
+			return n.Score(p.scores(sp.step))
+		}), nil
+	default:
+		return nil, fmt.Errorf("core: unknown frontier kind %d", kind)
+	}
+}
+
+func isPlainL1(n norms.Norm) bool {
+	switch v := n.(type) {
+	case norms.L1:
+		return true
+	case norms.Lp:
+		return v.P == 1 && len(v.Weights) == 0
+	default:
+		return false
+	}
+}
+
+// domainScores computes, per dimension, the refinement score at which
+// the predicate spans the entire attribute domain — the natural cap of
+// the refined space along that axis.
+func domainScores(e Evaluator, q *relq.Query) ([]float64, error) {
+	cat := e.Catalog()
+	stats := func(ref relq.ColumnRef) (minV, maxV float64, err error) {
+		t, err := cat.Table(ref.Table)
+		if err != nil {
+			return 0, 0, err
+		}
+		ord := t.Schema().Ordinal(ref.Column)
+		if ord < 0 {
+			return 0, 0, fmt.Errorf("core: table %s has no column %q", ref.Table, ref.Column)
+		}
+		s, err := t.Stats(ord)
+		if err != nil {
+			return 0, 0, err
+		}
+		return s.Min, s.Max, nil
+	}
+
+	out := make([]float64, len(q.Dims))
+	for i := range q.Dims {
+		d := &q.Dims[i]
+		switch d.Kind {
+		case relq.SelectLE:
+			_, maxV, err := stats(d.Col)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d.Violation(maxV)
+		case relq.SelectGE:
+			minV, _, err := stats(d.Col)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = d.Violation(minV)
+		case relq.SelectEQ:
+			minV, maxV, err := stats(d.Col)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Max(d.Violation(minV), d.Violation(maxV))
+		case relq.JoinBand:
+			lMin, lMax, err := stats(d.Left)
+			if err != nil {
+				return nil, err
+			}
+			rMin, rMax, err := stats(d.Right)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Max(d.JoinViolation(lMax, rMin), d.JoinViolation(lMin, rMax))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"acquire/internal/agg"
+
+	"acquire/internal/data"
+	"acquire/internal/exec"
+	"acquire/internal/norms"
+	"acquire/internal/relq"
+)
+
+// lineTable builds t(x) with x = 1..n: COUNT(x <= b) == b, so every
+// expected refinement is computable by hand.
+func lineTable(t testing.TB, n int) *exec.Engine {
+	t.Helper()
+	tbl := data.NewTable("t", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "v", Type: data.Float64},
+	))
+	for i := 1; i <= n; i++ {
+		if err := tbl.AppendRow(data.FloatValue(float64(i)), data.FloatValue(float64(i%7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return exec.New(cat)
+}
+
+// leDim is "x <= bound" with Width 100, so one score unit widens the
+// bound by one attribute unit.
+func leDim(bound float64) relq.Dimension {
+	return relq.Dimension{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "x"}, Bound: bound, Width: 100}
+}
+
+func countQ(target float64, dims ...relq.Dimension) *relq.Query {
+	return &relq.Query{
+		Tables:     []string{"t"},
+		Dims:       dims,
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: target},
+	}
+}
+
+func TestExactGridHit(t *testing.T) {
+	e := lineTable(t, 100)
+	q := countQ(50, leDim(10))
+	res, err := Run(e, q, Options{Gamma: 10, Delta: 0.001})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("not satisfied: %+v", res)
+	}
+	// γ=10, d=1 ⇒ step 10; count(10+u) = 10+u ⇒ u = 40 at layer 4.
+	if res.Best.Scores[0] != 40 {
+		t.Errorf("best score = %v, want 40", res.Best.Scores[0])
+	}
+	if res.Best.Aggregate != 50 {
+		t.Errorf("aggregate = %v, want 50", res.Best.Aggregate)
+	}
+	if res.Best.Err != 0 {
+		t.Errorf("err = %v", res.Best.Err)
+	}
+	if res.Best.QScore != 40 {
+		t.Errorf("QScore = %v", res.Best.QScore)
+	}
+}
+
+func TestOriginAlreadySatisfies(t *testing.T) {
+	e := lineTable(t, 100)
+	q := countQ(10, leDim(10))
+	res, err := Run(e, q, Options{Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied || res.Best.QScore != 0 {
+		t.Fatalf("origin should satisfy: %+v", res)
+	}
+	if res.Explored != 1 {
+		t.Errorf("explored = %d, want 1 (stop after origin's layer)", res.Explored)
+	}
+}
+
+func TestRepartitionOnOvershoot(t *testing.T) {
+	e := lineTable(t, 1000)
+	// Step 10 jumps counts by 10; target 15 lies strictly between grid
+	// layers. δ=0.01 rejects both 10 and 20; §6 repartitioning must
+	// find the interior point u=5.
+	q := countQ(15, leDim(10))
+	res, err := Run(e, q, Options{Gamma: 10, Delta: 0.01, RepartitionDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("repartitioning should satisfy: %+v", res)
+	}
+	if math.Abs(res.Best.Scores[0]-5) > 2 {
+		t.Errorf("best score = %v, want ≈5", res.Best.Scores[0])
+	}
+	if math.Abs(res.Best.Aggregate-15) > 15*0.01 {
+		t.Errorf("aggregate = %v, want 15±1%%", res.Best.Aggregate)
+	}
+}
+
+func TestOvershootAtOriginReportsContractionProblem(t *testing.T) {
+	e := lineTable(t, 100)
+	q := countQ(5, leDim(50)) // origin already returns 50 > 5
+	res, err := Run(e, q, Options{Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Fatalf("expansion cannot shrink an overshooting query: %+v", res)
+	}
+	if res.Note == "" {
+		t.Error("expected a diagnostic note")
+	}
+	if res.Closest == nil {
+		t.Error("closest query must still be reported (§6)")
+	}
+}
+
+func TestUnsatisfiableExhaustsGrid(t *testing.T) {
+	e := lineTable(t, 100)
+	q := countQ(10000, leDim(10)) // only 100 rows exist
+	res, err := Run(e, q, Options{Gamma: 20, Delta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Fatal("cannot satisfy target beyond table size")
+	}
+	if !res.Exhausted {
+		t.Error("expected Exhausted")
+	}
+	if res.Closest == nil || res.Closest.Aggregate != 100 {
+		t.Errorf("closest should be full expansion with count 100: %+v", res.Closest)
+	}
+}
+
+func TestMaxExploredBudget(t *testing.T) {
+	e := lineTable(t, 100)
+	q := countQ(10000, leDim(10))
+	res, err := Run(e, q, Options{MaxExplored: 3, Delta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted || res.Explored > 3 {
+		t.Errorf("budget not respected: %+v", res)
+	}
+}
+
+func TestTwoDimensionalSearch(t *testing.T) {
+	// Grid data: (x, y) over 1..40 × 1..40, count(x<=a, y<=b) = a·b.
+	tbl := data.NewTable("t", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "y", Type: data.Float64},
+	))
+	for x := 1; x <= 40; x++ {
+		for y := 1; y <= 40; y++ {
+			if err := tbl.AppendRow(data.FloatValue(float64(x)), data.FloatValue(float64(y))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	e := exec.New(cat)
+
+	q := &relq.Query{
+		Tables: []string{"t"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "x"}, Bound: 10, Width: 100},
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "y"}, Bound: 10, Width: 100},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 300},
+	}
+	// γ=10, d=2 ⇒ step 5. count(10+5i, 10+5j) = (10+5i)(10+5j).
+	// Layer i+j=3: (10,25)→250, (15,20)→300 ✓, (20,15)→300 ✓,
+	// (25,10)→250. Expect exactly the two satisfying points of the
+	// first satisfying layer.
+	res, err := Run(e, q, Options{Gamma: 10, Delta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("not satisfied: %+v", res)
+	}
+	if len(res.Queries) != 2 {
+		t.Fatalf("answers = %d, want 2 symmetric points: %+v", len(res.Queries), res.Queries)
+	}
+	for _, rq := range res.Queries {
+		if rq.Aggregate != 300 || rq.QScore != 15 {
+			t.Errorf("answer %+v", rq)
+		}
+	}
+	// All answers in one layer (Alg. 4 stops after the satisfying layer).
+	if res.Queries[0].QScore != res.Queries[1].QScore {
+		t.Error("answers from different layers")
+	}
+}
+
+func TestIncrementalMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tbl := data.NewTable("t", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "y", Type: data.Float64},
+		data.Column{Name: "v", Type: data.Float64},
+	))
+	for i := 0; i < 3000; i++ {
+		if err := tbl.AppendRow(
+			data.FloatValue(rng.Float64()*100),
+			data.FloatValue(rng.Float64()*100),
+			data.FloatValue(rng.Float64()*10),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	e := exec.New(cat)
+
+	for trial, c := range []relq.Constraint{
+		{Func: relq.AggCount, Op: relq.CmpEQ, Target: 900},
+		{Func: relq.AggSum, Attr: relq.ColumnRef{Table: "t", Column: "v"}, Op: relq.CmpGE, Target: 3000},
+		{Func: relq.AggMax, Attr: relq.ColumnRef{Table: "t", Column: "v"}, Op: relq.CmpGE, Target: 9.9},
+		{Func: relq.AggAvg, Attr: relq.ColumnRef{Table: "t", Column: "v"}, Op: relq.CmpEQ, Target: 5},
+	} {
+		q := &relq.Query{
+			Tables: []string{"t"},
+			Dims: []relq.Dimension{
+				{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "x"}, Bound: 30, Width: 70},
+				{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "y"}, Bound: 30, Width: 70},
+			},
+			Constraint: c,
+		}
+		inc, err := Run(e, q, Options{Gamma: 20, Delta: 0.05})
+		if err != nil {
+			t.Fatalf("trial %d incremental: %v", trial, err)
+		}
+		naive, err := Run(e, q, Options{Gamma: 20, Delta: 0.05, NoIncremental: true})
+		if err != nil {
+			t.Fatalf("trial %d naive: %v", trial, err)
+		}
+		if inc.Satisfied != naive.Satisfied {
+			t.Errorf("trial %d: satisfied %v vs %v", trial, inc.Satisfied, naive.Satisfied)
+			continue
+		}
+		if inc.Satisfied {
+			if math.Abs(inc.Best.QScore-naive.Best.QScore) > 1e-9 {
+				t.Errorf("trial %d: best QScore %v vs %v", trial, inc.Best.QScore, naive.Best.QScore)
+			}
+			if math.Abs(inc.Best.Aggregate-naive.Best.Aggregate) > 1e-6*(1+math.Abs(naive.Best.Aggregate)) {
+				t.Errorf("trial %d: best aggregate %v vs %v", trial, inc.Best.Aggregate, naive.Best.Aggregate)
+			}
+		}
+		if inc.Explored != naive.Explored {
+			t.Errorf("trial %d: explored %d vs %d (search paths must match)", trial, inc.Explored, naive.Explored)
+		}
+	}
+}
+
+// Property: every satisfying query ACQUIRE reports is (a) within δ, and
+// (b) within γ of the optimal grid refinement found by exhaustive
+// search (Definition 1).
+func TestDefinitionOneGuarantees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 500 + rng.Intn(1000)
+		e := lineTable(t, n)
+		bound := 10 + rng.Float64()*30
+		target := float64(100 + rng.Intn(n/2))
+		gamma := 4 + rng.Float64()*16
+		delta := 0.02 + rng.Float64()*0.08
+		q := countQ(target, leDim(bound))
+
+		res, err := Run(e, q, Options{Gamma: gamma, Delta: delta})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Exhaustive scan of the 1-D grid for the optimal layer.
+		step := gamma / 1
+		opt := math.Inf(1)
+		for u := 0; ; u++ {
+			cnt := math.Min(bound+float64(u)*step, float64(n))
+			if bound+float64(u)*step >= float64(n)+step {
+				break
+			}
+			errv := math.Abs(target-cnt) / target
+			if errv <= delta {
+				opt = float64(u) * step
+				break
+			}
+		}
+		if math.IsInf(opt, 1) {
+			continue // no grid point satisfies; nothing to check
+		}
+		if !res.Satisfied {
+			t.Errorf("trial %d: exhaustive found grid answer at %v but ACQUIRE did not", trial, opt)
+			continue
+		}
+		for _, rq := range res.Queries {
+			if rq.Err > delta+1e-12 {
+				t.Errorf("trial %d: reported query has err %v > δ=%v", trial, rq.Err, delta)
+			}
+			if rq.QScore > opt+gamma+1e-9 {
+				t.Errorf("trial %d: QScore %v exceeds optimal %v + γ=%v", trial, rq.QScore, opt, gamma)
+			}
+		}
+	}
+}
+
+func TestAggregateTypesEndToEnd(t *testing.T) {
+	e := lineTable(t, 200) // v = i % 7 ∈ [0, 6]
+	mk := func(c relq.Constraint) *relq.Query {
+		return &relq.Query{Tables: []string{"t"}, Dims: []relq.Dimension{leDim(10)}, Constraint: c}
+	}
+	vcol := relq.ColumnRef{Table: "t", Column: "v"}
+
+	// SUM: sum of v over x<=b grows with b.
+	res, err := Run(e, mk(relq.Constraint{Func: relq.AggSum, Attr: vcol, Op: relq.CmpGE, Target: 200}), Options{Delta: 0.05})
+	if err != nil || !res.Satisfied {
+		t.Fatalf("SUM: %v %+v", err, res)
+	}
+	if res.Best.Aggregate < 200 {
+		t.Errorf("SUM aggregate %v < target", res.Best.Aggregate)
+	}
+
+	// MAX: v caps at 6; target 6 must be reachable, target 10 not.
+	res, err = Run(e, mk(relq.Constraint{Func: relq.AggMax, Attr: vcol, Op: relq.CmpGE, Target: 6}), Options{Delta: 0.001})
+	if err != nil || !res.Satisfied {
+		t.Fatalf("MAX reachable: %v %+v", err, res)
+	}
+	res, err = Run(e, mk(relq.Constraint{Func: relq.AggMax, Attr: vcol, Op: relq.CmpGE, Target: 10}), Options{Delta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Error("MAX 10 is unreachable (domain max 6)")
+	}
+
+	// MIN: min over any prefix is 0 (x=7 has v=0); with = constraint 0.
+	res, err = Run(e, mk(relq.Constraint{Func: relq.AggMin, Attr: vcol, Op: relq.CmpEQ, Target: 0}), Options{Delta: 0.001})
+	if err != nil || !res.Satisfied {
+		t.Fatalf("MIN: %v %+v", err, res)
+	}
+
+	// AVG: v averages ≈3 over large prefixes.
+	res, err = Run(e, mk(relq.Constraint{Func: relq.AggAvg, Attr: vcol, Op: relq.CmpEQ, Target: 3}), Options{Delta: 0.05})
+	if err != nil || !res.Satisfied {
+		t.Fatalf("AVG: %v %+v", err, res)
+	}
+}
+
+func TestNormVariants(t *testing.T) {
+	e := lineTable(t, 200)
+	q := countQ(60, leDim(10))
+
+	l2, err := norms.NewLp(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []norms.Norm{norms.L1{}, l2, norms.LInf{}} {
+		res, err := Run(e, q, Options{Norm: n, Delta: 0.001})
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		if !res.Satisfied || res.Best.Scores[0] != 50 {
+			t.Errorf("%s: %+v", n.Name(), res.Best)
+		}
+	}
+
+	// Weighted norm steers refinement to the cheap dimension.
+	tbl := data.NewTable("g", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "y", Type: data.Float64},
+	))
+	for x := 1; x <= 30; x++ {
+		for y := 1; y <= 30; y++ {
+			if err := tbl.AppendRow(data.FloatValue(float64(x)), data.FloatValue(float64(y))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	ge := exec.New(cat)
+	gq := &relq.Query{
+		Tables: []string{"g"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "g", Column: "x"}, Bound: 10, Width: 100},
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "g", Column: "y"}, Bound: 10, Width: 100},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 200},
+	}
+	// Penalise dim 0 heavily: the answer should refine dim 1.
+	lw, err := norms.NewLp(1, []float64{10, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ge, gq, Options{Norm: lw, Gamma: 10, Delta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("weighted: %+v", res)
+	}
+	if res.Best.Scores[0] != 0 || res.Best.Scores[1] != 10 {
+		t.Errorf("weighted norm should expand only dim 1: %v", res.Best.Scores)
+	}
+}
+
+func TestFrontierValidation(t *testing.T) {
+	e := lineTable(t, 50)
+	q := countQ(20, leDim(10))
+	l2, _ := norms.NewLp(2, nil)
+	if _, err := Run(e, q, Options{Norm: l2, Frontier: FrontierBFS}); err == nil {
+		t.Error("BFS with L2: expected error")
+	}
+	if _, err := Run(e, q, Options{Frontier: FrontierLInfLayers}); err == nil {
+		t.Error("L∞ frontier with L1 norm: expected error")
+	}
+	if _, err := Run(e, q, Options{Frontier: FrontierKind(9)}); err == nil {
+		t.Error("unknown frontier: expected error")
+	}
+	bad := norms.Custom{Fn: func(v []float64) float64 { return -v[0] }, Label: "bad"}
+	if _, err := Run(e, q, Options{Norm: bad}); err == nil {
+		t.Error("non-monotone custom norm: expected error")
+	}
+	good := norms.Custom{Fn: func(v []float64) float64 { return 3 * v[0] }, Label: "scaled"}
+	if res, err := Run(e, q, Options{Norm: good, Delta: 0.01}); err != nil || !res.Satisfied {
+		t.Errorf("monotone custom norm: %v %+v", err, res)
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	e := lineTable(t, 10)
+	if _, err := Run(e, &relq.Query{}, Options{}); err == nil {
+		t.Error("invalid query: expected error")
+	}
+	noDims := &relq.Query{
+		Tables:     []string{"t"},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 5},
+	}
+	if _, err := Run(e, noDims, Options{}); err == nil {
+		t.Error("no refinable predicates: expected error")
+	}
+	q := countQ(5, leDim(3))
+	if _, err := Run(e, q, Options{Gamma: -1}); err == nil {
+		t.Error("negative gamma: expected error")
+	}
+	badCol := countQ(5, relq.Dimension{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "zzz"}, Bound: 1, Width: 1})
+	if _, err := Run(e, badCol, Options{}); err == nil {
+		t.Error("unknown column: expected error")
+	}
+}
+
+func TestContraction(t *testing.T) {
+	e := lineTable(t, 100)
+	// x <= 50 returns 50 rows; constrain COUNT <= 20.
+	q := &relq.Query{
+		Tables:     []string{"t"},
+		Dims:       []relq.Dimension{leDim(50)},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpLE, Target: 20},
+	}
+	res, err := Run(e, q, Options{Gamma: 10, Delta: 0.001})
+	if err != nil {
+		t.Fatalf("contract: %v", err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("contraction should satisfy: %+v", res)
+	}
+	// step 10: w=30 → bound 20 → count 20. Minimal contraction.
+	if res.Best.Scores[0] != -30 {
+		t.Errorf("contraction score = %v, want -30", res.Best.Scores[0])
+	}
+	if res.Best.Aggregate != 20 {
+		t.Errorf("aggregate = %v, want 20", res.Best.Aggregate)
+	}
+	// Rendered SQL shows the tightened bound.
+	sql := res.Best.ToSQL()
+	if want := "(t.x <= 20)"; !strings.Contains(sql, want) {
+		t.Errorf("ToSQL = %q, want %q inside", sql, want)
+	}
+}
+
+func TestContractionUnsatisfiableEquality(t *testing.T) {
+	e := lineTable(t, 100)
+	// Equality dims cannot contract; the search must terminate.
+	q := &relq.Query{
+		Tables: []string{"t"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectEQ, Col: relq.ColumnRef{Table: "t", Column: "x"}, Bound: 5, Width: 100},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpLT, Target: 0.5},
+	}
+	res, err := Run(e, q, Options{Delta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Errorf("equality predicates cannot contract: %+v", res)
+	}
+}
+
+func TestExplorerVerifyHook(t *testing.T) {
+	e := lineTable(t, 300)
+	q := countQ(100, leDim(10))
+	domain, err := domainScores(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := newSpace(q, 10, domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := agg.SpecFor(q.Constraint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := newExplorer(e, q, sp, spec, true)
+	for u := 0; u < 8; u++ {
+		if err := x.verifyAgainstDirect(point{u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// §7.1: per-predicate maximum refinement limits cap the corresponding
+// refined-space axis.
+func TestMaxScoreLimits(t *testing.T) {
+	e := lineTable(t, 1000)
+	capped := leDim(10)
+	capped.MaxScore = 25 // axis ends at 25 score units
+	q := countQ(500, capped)
+	res, err := Run(e, q, Options{Gamma: 10, Delta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Fatalf("target needs score 490, cap is 25: %+v", res)
+	}
+	if res.Closest == nil || res.Closest.Scores[0] > 30+1e-9 {
+		t.Errorf("closest exceeded the cap: %+v", res.Closest)
+	}
+
+	// With the cap lifted, the same target is reachable.
+	q2 := countQ(500, leDim(10))
+	res2, err := Run(e, q2, Options{Gamma: 10, Delta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Satisfied || res2.Best.Scores[0] != 490 {
+		t.Errorf("uncapped search: %+v", res2.Best)
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"acquire/internal/agg"
+	"acquire/internal/relq"
+)
+
+// Contract handles the inverse problem of §7.2: the original query
+// returns too much (constraints with <= or <, or an = constraint that
+// the original query already overshoots). Per the paper, the refined
+// space is re-anchored between Q'min (every predicate at its most
+// selective value) and Q, and traversed minimizing refinement with
+// respect to Q.
+//
+// Implementation note: each candidate is evaluated as a whole query
+// against a tightened clone of Q. The incremental sub-aggregate store
+// of §5 does not transfer to shrinking queries for non-invertible
+// aggregates (MIN/MAX cannot be "subtracted"), so contraction pays one
+// evaluation-layer execution per candidate; the paper makes no
+// performance claims for this extension.
+func Contract(e Evaluator, q *relq.Query, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := agg.SpecFor(q.Constraint)
+	if err != nil {
+		return nil, err
+	}
+	errFn := opts.ErrFn
+	if errFn == nil {
+		errFn = contractionError(q.Constraint)
+	}
+
+	// Contraction limits: the score at which each predicate becomes
+	// maximally selective (its Q'min position).
+	limits, err := contractionLimits(e, q)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := newSpace(q, opts.Gamma, limits)
+	if err != nil {
+		return nil, err
+	}
+
+	// The w-space frontier explores contraction amounts: w = 0 is Q,
+	// growing w tightens predicates. Ordering by ||w|| minimizes
+	// refinement w.r.t. Q exactly as §7.2 requires.
+	fr, err := makeFrontier(opts, sp)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	target := q.Constraint.Target
+	const eps = 1e-9
+	bestLayer := math.Inf(1)
+	closestErr := math.Inf(1)
+
+	for {
+		pt, ok := fr.next()
+		if !ok {
+			res.Exhausted = len(res.Queries) == 0
+			break
+		}
+		w := pt.scores(sp.step)
+		qs := opts.Norm.Score(w)
+		if len(res.Queries) > 0 && qs > bestLayer+eps {
+			break
+		}
+		if res.Explored >= opts.MaxExplored {
+			res.Exhausted = true
+			res.Note = "exploration budget exhausted"
+			break
+		}
+		res.Explored++
+
+		contracted, scores := tightenQuery(q, w)
+		partial, err := e.Aggregate(contracted, relq.PrefixRegion(make([]float64, len(q.Dims))))
+		if err != nil {
+			return nil, err
+		}
+		res.CellQueries++
+		actual := spec.Final(partial)
+		ev := errFn(target, actual)
+
+		rq := relq.RefinedQuery{Base: q, Scores: scores, QScore: qs, Aggregate: actual, Err: ev}
+		if ev < closestErr-eps {
+			closestErr = ev
+			c := rq
+			res.Closest = &c
+		}
+		if ev <= opts.Delta {
+			res.Queries = append(res.Queries, rq)
+			if qs < bestLayer {
+				bestLayer = qs
+			}
+		}
+	}
+
+	sort.Slice(res.Queries, func(i, j int) bool { return res.Queries[i].QScore < res.Queries[j].QScore })
+	if len(res.Queries) > 0 {
+		res.Satisfied = true
+		res.Best = &res.Queries[0]
+	}
+	return res, nil
+}
+
+// tightenQuery clones q with every dimension's bound contracted by
+// w[i] score units, returning the clone plus the signed score vector
+// (negative = contraction) that renders correctly through
+// RefinedQuery.ToSQL.
+func tightenQuery(q *relq.Query, w []float64) (*relq.Query, []float64) {
+	out := q.Clone()
+	scores := make([]float64, len(w))
+	for i := range out.Dims {
+		d := &out.Dims[i]
+		scores[i] = -w[i]
+		switch d.Kind {
+		case relq.SelectLE, relq.SelectGE:
+			d.Bound = d.BoundAt(-w[i])
+		case relq.JoinBand:
+			b := d.BoundAt(-w[i])
+			if b < 0 {
+				b = 0
+			}
+			d.Base = b
+		case relq.SelectEQ:
+			// Equality predicates cannot contract; limits force w=0.
+		}
+	}
+	return out, scores
+}
+
+// contractionLimits computes, per dimension, the maximum meaningful
+// contraction score (reaching Q'min: the predicate excludes every
+// tuple).
+func contractionLimits(e Evaluator, q *relq.Query) ([]float64, error) {
+	cat := e.Catalog()
+	stats := func(ref relq.ColumnRef) (minV, maxV float64, err error) {
+		t, err := cat.Table(ref.Table)
+		if err != nil {
+			return 0, 0, err
+		}
+		ord := t.Schema().Ordinal(ref.Column)
+		if ord < 0 {
+			return 0, 0, fmt.Errorf("core: table %s has no column %q", ref.Table, ref.Column)
+		}
+		s, err := t.Stats(ord)
+		if err != nil {
+			return 0, 0, err
+		}
+		return s.Min, s.Max, nil
+	}
+	out := make([]float64, len(q.Dims))
+	for i := range q.Dims {
+		d := &q.Dims[i]
+		switch d.Kind {
+		case relq.SelectLE:
+			minV, _, err := stats(d.Col)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Max(0, (d.Bound-minV)*(100/d.Width))
+		case relq.SelectGE:
+			_, maxV, err := stats(d.Col)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Max(0, (maxV-d.Bound)*(100/d.Width))
+		case relq.SelectEQ:
+			out[i] = 0
+		case relq.JoinBand:
+			out[i] = math.Max(0, d.Base*(100/d.Width))
+		}
+	}
+	return out, nil
+}
+
+// contractionError penalises only overshoot, normalised by the target:
+// the mirror image of agg.HingeError for too-many-results constraints.
+func contractionError(c relq.Constraint) agg.ErrorFunc {
+	if c.Op == relq.CmpEQ {
+		return agg.RelativeError
+	}
+	return func(expected, actual float64) float64 {
+		if math.IsNaN(actual) {
+			// Empty result trivially satisfies an upper-bound
+			// constraint for COUNT/SUM; MIN/MAX have no value at all.
+			if c.Func == relq.AggCount || c.Func == relq.AggSum {
+				return 0
+			}
+			return math.Inf(1)
+		}
+		if actual <= expected {
+			return 0
+		}
+		if expected == 0 {
+			return math.Inf(1)
+		}
+		return (actual - expected) / expected
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"acquire/internal/agg"
+	"acquire/internal/data"
+	"acquire/internal/relq"
+)
+
+// Evaluator is the evaluation layer contract (§3: "we delegate all
+// actual query execution tasks to an evaluation layer ... the
+// evaluation layer is modular and can be replaced with other techniques
+// such as estimation, and/or sampling").
+//
+// Implementations in this repository:
+//
+//   - exec.Engine — exact execution over the full data (the default;
+//     the stand-in for the paper's Postgres deployment).
+//   - exec.Sampled — exact execution over a Bernoulli sample, with
+//     extrapolated COUNT/SUM/UDA aggregates.
+//   - histogram.Evaluator — scan-free COUNT estimation from per-column
+//     equi-depth histograms under the independence assumption.
+//
+// Aggregate must treat the region exactly as exec.Engine.Aggregate
+// documents; Catalog provides the attribute statistics the refined
+// space geometry needs.
+type Evaluator interface {
+	Aggregate(q *relq.Query, region relq.Region) (agg.Partial, error)
+	Catalog() *data.Catalog
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"acquire/internal/agg"
+	"acquire/internal/relq"
+)
+
+// explorer is the Explore phase (§5): it computes the aggregate of each
+// grid query, either incrementally (Algorithm 3) or naively (whole-query
+// re-execution, the ablation baseline).
+type explorer struct {
+	engine Evaluator
+	q      *relq.Query
+	sp     *space
+	spec   agg.Spec
+
+	incremental bool
+	// store maps point key -> the d+1 sub-query partials
+	// [O1 (cell), O2 (pillar), ..., Od+1 (whole query)] of §5.1.1.
+	store map[string][]agg.Partial
+
+	// cellQueries counts evaluation-layer round trips (cell executions
+	// in incremental mode, whole-query executions in naive mode).
+	cellQueries int
+}
+
+func newExplorer(e Evaluator, q *relq.Query, sp *space, spec agg.Spec, incremental bool) *explorer {
+	return &explorer{
+		engine:      e,
+		q:           q,
+		sp:          sp,
+		spec:        spec,
+		incremental: incremental,
+		store:       make(map[string][]agg.Partial),
+	}
+}
+
+// aggregate returns the aggregate partial of the whole refined query at
+// grid point p.
+func (x *explorer) aggregate(p point) (agg.Partial, error) {
+	if !x.incremental {
+		x.cellQueries++
+		return x.engine.Aggregate(x.q, relq.PrefixRegion(p.scores(x.sp.step)))
+	}
+	parts, err := x.computeAll(p)
+	if err != nil {
+		return agg.Zero(), err
+	}
+	return parts[x.sp.dims], nil
+}
+
+// computeAll is Algorithm 3 (ComputeAggregate): execute only the cell
+// sub-query O1, then fold the recurrence of Eq. 17,
+//
+//	O_i(u) = O_{i-1}(u) + O_i(u - e_{i-1}),
+//
+// reading O_i(u - e_{i-1}) from the store. The Expand phase guarantees
+// (Theorem 3) every contained grid query was explored first; points
+// reachable only through ties under exotic norms fall back to on-demand
+// recursive computation, preserving correctness.
+func (x *explorer) computeAll(p point) ([]agg.Partial, error) {
+	if parts, ok := x.store[p.key()]; ok {
+		return parts, nil
+	}
+	d := x.sp.dims
+	parts := make([]agg.Partial, d+1)
+
+	// O1: the cell — the only sub-query unique to this point (§5.1.1
+	// observation 1).
+	cell, err := x.engine.Aggregate(x.q, relq.CellRegion(p, x.sp.step))
+	if err != nil {
+		return nil, err
+	}
+	x.cellQueries++
+	parts[0] = cell
+
+	for i := 1; i <= d; i++ {
+		// GetPreviousNeighbour(i-1): decrement dimension i-1.
+		var prevPart agg.Partial
+		if p[i-1] == 0 {
+			// The neighbour lies outside the grid: its region is
+			// empty, its aggregate the identity (DESIGN.md §5.2).
+			prevPart = agg.Zero()
+		} else {
+			prev := p.clone()
+			prev[i-1]--
+			prevParts, err := x.computeAll(prev)
+			if err != nil {
+				return nil, err
+			}
+			prevPart = prevParts[i]
+		}
+		parts[i] = agg.Merge(parts[i-1], prevPart)
+	}
+	x.store[p.key()] = parts
+	return parts, nil
+}
+
+// directAggregate executes the whole refined query at an arbitrary
+// (possibly off-grid) score vector — used by cell repartitioning, which
+// probes points between grid layers (§6).
+func (x *explorer) directAggregate(scores []float64) (agg.Partial, error) {
+	x.cellQueries++
+	return x.engine.Aggregate(x.q, relq.PrefixRegion(scores))
+}
+
+// storedPoints reports how many grid points hold cached sub-aggregates.
+func (x *explorer) storedPoints() int { return len(x.store) }
+
+// verifyAgainstDirect cross-checks the incremental aggregate at p with
+// a direct whole-query execution; testing hook.
+func (x *explorer) verifyAgainstDirect(p point) error {
+	inc, err := x.aggregate(p)
+	if err != nil {
+		return err
+	}
+	direct, err := x.engine.Aggregate(x.q, relq.PrefixRegion(p.scores(x.sp.step)))
+	if err != nil {
+		return err
+	}
+	if inc.Count != direct.Count {
+		return fmt.Errorf("core: incremental count %d != direct %d at %v", inc.Count, direct.Count, p)
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+// Package core implements ACQUIRE (§3-§6 of the paper): the Expand
+// phase generating refined queries over the Refined Space grid in
+// non-decreasing refinement order, the Explore phase computing their
+// aggregates incrementally via the cell/pillar/wall/block sub-query
+// decomposition, and the driver of Algorithm 4 with overshoot
+// repartitioning, plus the §7 extensions (refinement preferences,
+// contraction, naive-mode ablation).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"acquire/internal/relq"
+)
+
+// point is a grid point in the refined space: coordinate i counts steps
+// of size γ/d along dimension i (§4).
+type point []int
+
+// key encodes the point for map storage.
+func (p point) key() string {
+	b := make([]byte, 0, len(p)*3)
+	for _, c := range p {
+		b = append(b, byte(c), byte(c>>8), byte(c>>16))
+	}
+	return string(b)
+}
+
+// clone copies the point.
+func (p point) clone() point {
+	q := make(point, len(p))
+	copy(q, p)
+	return q
+}
+
+// scores converts grid coordinates to PScore percent units.
+func (p point) scores(step float64) []float64 {
+	out := make([]float64, len(p))
+	for i, c := range p {
+		out[i] = float64(c) * step
+	}
+	return out
+}
+
+// space holds the refined-space geometry: dimensionality, grid step
+// (γ/d, Theorem 1) and per-dimension coordinate caps.
+type space struct {
+	dims int
+	step float64
+	// maxCoord[i] bounds dimension i: beyond it, further refinement
+	// admits no new tuples (the predicate already spans the attribute
+	// domain) or violates the user's per-predicate limit (§7.1).
+	maxCoord []int
+}
+
+func newSpace(q *relq.Query, gamma float64, domainScore []float64) (*space, error) {
+	d := q.NumDims()
+	if d == 0 {
+		return nil, fmt.Errorf("core: query has no refinable predicates; nothing to refine")
+	}
+	if gamma <= 0 {
+		return nil, fmt.Errorf("core: refinement threshold gamma must be positive, got %v", gamma)
+	}
+	s := &space{dims: d, step: gamma / float64(d), maxCoord: make([]int, d)}
+	for i := range q.Dims {
+		limit := domainScore[i]
+		if m := q.Dims[i].MaxScore; m > 0 && m < limit {
+			limit = m
+		}
+		if limit <= 0 {
+			// Degenerate: the predicate already spans the domain; the
+			// dimension cannot usefully refine but still exists as an
+			// axis. One step of slack keeps the geometry uniform.
+			s.maxCoord[i] = 0
+			continue
+		}
+		s.maxCoord[i] = int(math.Ceil(limit / s.step))
+	}
+	return s, nil
+}
+
+// frontier generates grid points in non-decreasing QScore order
+// (Theorem 2). Implementations: bfsFrontier (Algorithm 1),
+// linfFrontier (Algorithm 2), priorityFrontier (weighted norms).
+type frontier interface {
+	// next returns the next grid point, or ok=false when the space is
+	// exhausted.
+	next() (point, bool)
+}
+
+// bfsFrontier is Algorithm 1: FIFO breadth-first search over the grid
+// graph whose edges increment one coordinate by one step. BFS order is
+// exactly non-decreasing L1 layer order (Theorem 2's proof).
+type bfsFrontier struct {
+	sp    *space
+	queue []point
+	seen  map[string]struct{}
+}
+
+func newBFSFrontier(sp *space) *bfsFrontier {
+	origin := make(point, sp.dims)
+	return &bfsFrontier{
+		sp:    sp,
+		queue: []point{origin},
+		seen:  map[string]struct{}{origin.key(): {}},
+	}
+}
+
+func (f *bfsFrontier) next() (point, bool) {
+	if len(f.queue) == 0 {
+		return nil, false
+	}
+	cur := f.queue[0]
+	f.queue = f.queue[1:]
+	// GetNextNeighbor(i): increment the i-th dimension (Algorithm 1
+	// lines 2-5).
+	for i := 0; i < f.sp.dims; i++ {
+		if cur[i] >= f.sp.maxCoord[i] {
+			continue
+		}
+		nxt := cur.clone()
+		nxt[i]++
+		k := nxt.key()
+		if _, dup := f.seen[k]; !dup {
+			f.seen[k] = struct{}{}
+			f.queue = append(f.queue, nxt)
+		}
+	}
+	return cur, true
+}
+
+// linfFrontier is Algorithm 2: explicit enumeration of the L-shaped
+// query-layers of the L∞ norm. Layer k contains every grid point whose
+// maximum coordinate equals k.
+type linfFrontier struct {
+	sp      *space
+	layer   int
+	pending []point
+}
+
+func newLInfFrontier(sp *space) *linfFrontier {
+	origin := make(point, sp.dims)
+	return &linfFrontier{sp: sp, pending: []point{origin}}
+}
+
+func (f *linfFrontier) next() (point, bool) {
+	for len(f.pending) == 0 {
+		f.layer++
+		maxLayer := 0
+		for _, m := range f.sp.maxCoord {
+			if m > maxLayer {
+				maxLayer = m
+			}
+		}
+		if f.layer > maxLayer {
+			return nil, false
+		}
+		f.enumerateLayer(f.layer)
+	}
+	cur := f.pending[0]
+	f.pending = f.pending[1:]
+	return cur, true
+}
+
+// enumerateLayer emits all points with max coordinate == k: for each
+// dimension i fixed at k, every combination of the remaining
+// dimensions with coordinates < k (dimensions before i) or <= k
+// (dimensions after i) — the standard de-duplicated shell walk.
+func (f *linfFrontier) enumerateLayer(k int) {
+	d := f.sp.dims
+	cur := make(point, d)
+	var rec func(dim int, hasK bool)
+	rec = func(dim int, hasK bool) {
+		if dim == d {
+			if hasK {
+				f.pending = append(f.pending, cur.clone())
+			}
+			return
+		}
+		hi := k
+		if hi > f.sp.maxCoord[dim] {
+			hi = f.sp.maxCoord[dim]
+		}
+		for v := 0; v <= hi; v++ {
+			cur[dim] = v
+			rec(dim+1, hasK || v == k)
+		}
+	}
+	rec(0, false)
+}
+
+// priorityFrontier orders points by an arbitrary monotone QScore —
+// required for weighted norms (§7.1), where BFS layer order no longer
+// coincides with score order. Monotonicity of the norm guarantees a
+// point is popped after every point it contains (Theorem 3(2) carries
+// over), which the Explore phase's recurrence depends on.
+type priorityFrontier struct {
+	sp    *space
+	score func(point) float64
+	heap  pointHeap
+	seen  map[string]struct{}
+}
+
+func newPriorityFrontier(sp *space, score func(point) float64) *priorityFrontier {
+	origin := make(point, sp.dims)
+	f := &priorityFrontier{
+		sp:    sp,
+		score: score,
+		seen:  map[string]struct{}{origin.key(): {}},
+	}
+	f.heap.push(heapItem{p: origin, score: score(origin)})
+	return f
+}
+
+func (f *priorityFrontier) next() (point, bool) {
+	if f.heap.len() == 0 {
+		return nil, false
+	}
+	cur := f.heap.pop().p
+	for i := 0; i < f.sp.dims; i++ {
+		if cur[i] >= f.sp.maxCoord[i] {
+			continue
+		}
+		nxt := cur.clone()
+		nxt[i]++
+		k := nxt.key()
+		if _, dup := f.seen[k]; !dup {
+			f.seen[k] = struct{}{}
+			f.heap.push(heapItem{p: nxt, score: f.score(nxt)})
+		}
+	}
+	return cur, true
+}
+
+// heapItem and pointHeap are a minimal binary min-heap (container/heap
+// would force interface boxing on a hot path).
+type heapItem struct {
+	p     point
+	score float64
+}
+
+type pointHeap struct{ items []heapItem }
+
+func (h *pointHeap) len() int { return len(h.items) }
+
+func (h *pointHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].score <= h.items[i].score {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *pointHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].score < h.items[small].score {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].score < h.items[small].score {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

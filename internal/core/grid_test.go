@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"acquire/internal/agg"
+	"acquire/internal/data"
+	"acquire/internal/exec"
+	"acquire/internal/norms"
+	"acquire/internal/relq"
+)
+
+func testSpace(t *testing.T, dims int, gamma float64, caps []int) *space {
+	t.Helper()
+	sp := &space{dims: dims, step: gamma / float64(dims), maxCoord: caps}
+	return sp
+}
+
+// Theorem 2: every frontier emits points in non-decreasing QScore
+// order, and a point is emitted only after every point it contains
+// (Theorem 3(2)) — the Explore recurrence's precondition.
+func TestFrontierOrderingInvariants(t *testing.T) {
+	sp := testSpace(t, 3, 9, []int{6, 6, 6})
+	l2, err := norms.NewLp(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := norms.NewLp(1, []float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		fr   frontier
+		n    norms.Norm
+	}{
+		{"bfs", newBFSFrontier(sp), norms.L1{}},
+		{"linf", newLInfFrontier(sp), norms.LInf{}},
+		{"priority-l2", newPriorityFrontier(sp, func(p point) float64 { return l2.Score(p.scores(sp.step)) }), l2},
+		{"priority-weighted", newPriorityFrontier(sp, func(p point) float64 { return lw.Score(p.scores(sp.step)) }), lw},
+	}
+	for _, tc := range cases {
+		seen := make(map[string]int)
+		var order []point
+		last := -1.0
+		for {
+			p, ok := tc.fr.next()
+			if !ok {
+				break
+			}
+			qs := tc.n.Score(p.scores(sp.step))
+			if qs < last-1e-9 {
+				t.Fatalf("%s: QScore decreased: %v after %v", tc.name, qs, last)
+			}
+			last = qs
+			if _, dup := seen[p.key()]; dup {
+				t.Fatalf("%s: duplicate point %v", tc.name, p)
+			}
+			seen[p.key()] = len(order)
+			order = append(order, p.clone())
+		}
+		// Completeness: every grid point appears exactly once.
+		want := 7 * 7 * 7
+		if len(order) != want {
+			t.Fatalf("%s: emitted %d points, want %d", tc.name, len(order), want)
+		}
+		// Containment order: direct predecessors come first.
+		for idx, p := range order {
+			for i := 0; i < sp.dims; i++ {
+				if p[i] == 0 {
+					continue
+				}
+				prev := p.clone()
+				prev[i]--
+				pidx, ok := seen[prev.key()]
+				if !ok || pidx >= idx {
+					t.Fatalf("%s: %v emitted before contained %v", tc.name, p, prev)
+				}
+			}
+		}
+	}
+}
+
+func TestFrontierRespectsCaps(t *testing.T) {
+	sp := testSpace(t, 2, 10, []int{2, 0})
+	fr := newBFSFrontier(sp)
+	count := 0
+	for {
+		p, ok := fr.next()
+		if !ok {
+			break
+		}
+		if p[0] > 2 || p[1] > 0 {
+			t.Fatalf("point %v beyond caps", p)
+		}
+		count++
+	}
+	if count != 3 {
+		t.Errorf("points = %d, want 3", count)
+	}
+}
+
+func TestLInfLayerShape(t *testing.T) {
+	sp := testSpace(t, 2, 10, []int{3, 3})
+	fr := newLInfFrontier(sp)
+	var layers [][]point
+	lastMax := -1
+	for {
+		p, ok := fr.next()
+		if !ok {
+			break
+		}
+		m := p[0]
+		if p[1] > m {
+			m = p[1]
+		}
+		if m != lastMax {
+			if m < lastMax {
+				t.Fatalf("layer regressed: %v after max %d", p, lastMax)
+			}
+			layers = append(layers, nil)
+			lastMax = m
+		}
+		layers[len(layers)-1] = append(layers[len(layers)-1], p.clone())
+	}
+	// Layer k has (k+1)^2 - k^2 = 2k+1 points.
+	wantSizes := []int{1, 3, 5, 7}
+	if len(layers) != len(wantSizes) {
+		t.Fatalf("layers = %d, want %d", len(layers), len(wantSizes))
+	}
+	for k, l := range layers {
+		if len(l) != wantSizes[k] {
+			t.Errorf("layer %d size = %d, want %d", k, len(l), wantSizes[k])
+		}
+	}
+}
+
+func TestPointKeyUniqueness(t *testing.T) {
+	seen := make(map[string]point)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		p := point{rng.Intn(300), rng.Intn(300), rng.Intn(300)}
+		k := p.key()
+		if prev, ok := seen[k]; ok {
+			if prev[0] != p[0] || prev[1] != p[1] || prev[2] != p[2] {
+				t.Fatalf("key collision: %v and %v", prev, p)
+			}
+		}
+		seen[k] = p.clone()
+	}
+}
+
+func TestPointHeap(t *testing.T) {
+	var h pointHeap
+	rng := rand.New(rand.NewSource(9))
+	var vals []float64
+	for i := 0; i < 500; i++ {
+		v := rng.Float64() * 100
+		vals = append(vals, v)
+		h.push(heapItem{p: point{i}, score: v})
+	}
+	last := -1.0
+	for h.len() > 0 {
+		it := h.pop()
+		if it.score < last {
+			t.Fatalf("heap pop out of order: %v after %v", it.score, last)
+		}
+		last = it.score
+	}
+	_ = vals
+}
+
+// Property: the incremental aggregate (Algorithm 3 + store) equals a
+// direct whole-query execution at every grid point, over random data,
+// dimensionalities and aggregates — the central §5 claim.
+func TestIncrementalAggregateEqualsDirectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 6; trial++ {
+		dims := 1 + trial%3
+		cols := []data.Column{{Name: "v", Type: data.Float64}}
+		names := []string{"a", "b", "c"}[:dims]
+		for _, n := range names {
+			cols = append(cols, data.Column{Name: n, Type: data.Float64})
+		}
+		tbl := data.NewTable("t", data.MustSchema(cols...))
+		rows := 400 + rng.Intn(400)
+		vals := make([]data.Value, len(cols))
+		for r := 0; r < rows; r++ {
+			vals[0] = data.FloatValue(rng.Float64() * 10)
+			for i := 1; i < len(cols); i++ {
+				vals[i] = data.FloatValue(rng.Float64() * 100)
+			}
+			if err := tbl.AppendRow(vals...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cat := data.NewCatalog()
+		if err := cat.Register(tbl); err != nil {
+			t.Fatal(err)
+		}
+		e := exec.New(cat)
+
+		var qdims []relq.Dimension
+		for _, n := range names {
+			qdims = append(qdims, relq.Dimension{
+				Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: n},
+				Bound: 20 + rng.Float64()*30, Width: 50,
+			})
+		}
+		consts := []relq.Constraint{
+			{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+			{Func: relq.AggSum, Attr: relq.ColumnRef{Table: "t", Column: "v"}, Op: relq.CmpGE, Target: 1},
+			{Func: relq.AggMax, Attr: relq.ColumnRef{Table: "t", Column: "v"}, Op: relq.CmpGE, Target: 1},
+			{Func: relq.AggMin, Attr: relq.ColumnRef{Table: "t", Column: "v"}, Op: relq.CmpEQ, Target: 1},
+		}
+		q := &relq.Query{Tables: []string{"t"}, Dims: qdims, Constraint: consts[trial%len(consts)]}
+
+		domain, err := domainScores(e, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := newSpace(q, 12, domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := agg.SpecFor(q.Constraint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := newExplorer(e, q, sp, spec, true)
+		fr := newBFSFrontier(sp)
+		for i := 0; i < 60; i++ {
+			p, ok := fr.next()
+			if !ok {
+				break
+			}
+			if err := x.verifyAgainstDirect(p); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+// The incremental explorer executes exactly one cell query per distinct
+// grid point (§5: "a query is executed at most once").
+func TestCellQueryAccounting(t *testing.T) {
+	e := lineTable(t, 200)
+	q := countQ(100, leDim(10))
+	domain, err := domainScores(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := newSpace(q, 10, domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := agg.SpecFor(q.Constraint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := newExplorer(e, q, sp, spec, true)
+	for u := 0; u < 5; u++ {
+		if _, err := x.aggregate(point{u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if x.cellQueries != 5 {
+		t.Errorf("cellQueries = %d, want 5", x.cellQueries)
+	}
+	// Re-asking a stored point costs nothing.
+	if _, err := x.aggregate(point{3}); err != nil {
+		t.Fatal(err)
+	}
+	if x.cellQueries != 5 {
+		t.Errorf("cellQueries after repeat = %d, want 5", x.cellQueries)
+	}
+	if x.storedPoints() != 5 {
+		t.Errorf("storedPoints = %d, want 5", x.storedPoints())
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acquire/internal/data"
+	"acquire/internal/exec"
+	"acquire/internal/relq"
+)
+
+// Metamorphic invariances of the refinement search: transformations of
+// the input that must leave the answer predictably unchanged. These
+// catch whole classes of bookkeeping bugs (axis mixups, width/score
+// confusion, data-order dependence) that example-based tests miss.
+
+func randomEngine2D(t *testing.T, seed int64, n int) (*exec.Engine, [][2]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][2]float64, n)
+	tbl := data.NewTable("t", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "y", Type: data.Float64},
+	))
+	for i := range rows {
+		rows[i] = [2]float64{rng.Float64() * 100, rng.Float64() * 100}
+		if err := tbl.AppendRow(data.FloatValue(rows[i][0]), data.FloatValue(rows[i][1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return exec.New(cat), rows
+}
+
+func query2D(target float64, bx, by float64) *relq.Query {
+	return &relq.Query{
+		Tables: []string{"t"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "x"}, Bound: bx, Width: 100},
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "y"}, Bound: by, Width: 100},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: target},
+	}
+}
+
+// Swapping the two dimensions (and the data columns with them) must
+// swap the answer's score vector and nothing else.
+func TestDimensionPermutationEquivariance(t *testing.T) {
+	e, rows := randomEngine2D(t, 31, 4000)
+
+	// Mirrored engine: columns swapped.
+	tbl := data.NewTable("t", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "y", Type: data.Float64},
+	))
+	for _, r := range rows {
+		if err := tbl.AppendRow(data.FloatValue(r[1]), data.FloatValue(r[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	em := exec.New(cat)
+
+	q := query2D(2500, 30, 45)
+	qm := query2D(2500, 45, 30) // bounds swapped to match swapped columns
+
+	a, err := Run(e, q, Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(em, qm, Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Satisfied != b.Satisfied || len(a.Queries) != len(b.Queries) {
+		t.Fatalf("permuted search differs: %+v vs %+v", a, b)
+	}
+	if a.Satisfied {
+		if a.Best.QScore != b.Best.QScore {
+			t.Errorf("best QScore differs: %v vs %v", a.Best.QScore, b.Best.QScore)
+		}
+		if a.Best.Scores[0] != b.Best.Scores[1] || a.Best.Scores[1] != b.Best.Scores[0] {
+			t.Errorf("scores not swapped: %v vs %v", a.Best.Scores, b.Best.Scores)
+		}
+	}
+}
+
+// An affine transform of an attribute (x -> a·x + c, a > 0), with the
+// bound and width transformed alike, leaves counts — and therefore the
+// whole search trajectory — untouched.
+func TestAffineTransformInvariance(t *testing.T) {
+	e, rows := randomEngine2D(t, 37, 4000)
+	const a, c = 7.5, -300.0
+
+	tbl := data.NewTable("t", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "y", Type: data.Float64},
+	))
+	for _, r := range rows {
+		if err := tbl.AppendRow(data.FloatValue(a*r[0]+c), data.FloatValue(r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	et := exec.New(cat)
+
+	orig := query2D(2500, 30, 45)
+	trans := query2D(2500, a*30+c, 45)
+	trans.Dims[0].Width = 100 * a // widths scale with the attribute
+
+	ra, err := Run(e, orig, Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(et, trans, Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Satisfied != rb.Satisfied || ra.Explored != rb.Explored {
+		t.Fatalf("affine transform changed the search: %+v vs %+v", ra, rb)
+	}
+	if ra.Satisfied {
+		if !relq.ScoresAlmostEqual(ra.Best.Scores, rb.Best.Scores) {
+			t.Errorf("scores differ: %v vs %v", ra.Best.Scores, rb.Best.Scores)
+		}
+		if ra.Best.Aggregate != rb.Best.Aggregate {
+			t.Errorf("aggregates differ: %v vs %v", ra.Best.Aggregate, rb.Best.Aggregate)
+		}
+	}
+}
+
+// Duplicating every row doubles all counts: searching with a doubled
+// target over the doubled data must find the same refinement scores.
+func TestDataDuplicationScaling(t *testing.T) {
+	e, rows := randomEngine2D(t, 41, 3000)
+
+	tbl := data.NewTable("t", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "y", Type: data.Float64},
+	))
+	for _, r := range rows {
+		for k := 0; k < 2; k++ {
+			if err := tbl.AppendRow(data.FloatValue(r[0]), data.FloatValue(r[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	e2 := exec.New(cat)
+
+	q1 := query2D(1800, 30, 45)
+	q2 := query2D(3600, 30, 45)
+
+	a, err := Run(e, q1, Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(e2, q2, Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Satisfied != b.Satisfied {
+		t.Fatalf("duplication changed satisfiability")
+	}
+	if a.Satisfied {
+		if !relq.ScoresAlmostEqual(a.Best.Scores, b.Best.Scores) {
+			t.Errorf("scores differ: %v vs %v", a.Best.Scores, b.Best.Scores)
+		}
+		if math.Abs(b.Best.Aggregate-2*a.Best.Aggregate) > 1e-9 {
+			t.Errorf("aggregate not doubled: %v vs %v", a.Best.Aggregate, b.Best.Aggregate)
+		}
+	}
+}
+
+// Row order must not matter: shuffling the table leaves every result
+// identical (the engine is set-oriented).
+func TestRowOrderInvariance(t *testing.T) {
+	e, rows := randomEngine2D(t, 43, 3000)
+	rng := rand.New(rand.NewSource(99))
+	shuffled := append([][2]float64(nil), rows...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	tbl := data.NewTable("t", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "y", Type: data.Float64},
+	))
+	for _, r := range shuffled {
+		if err := tbl.AppendRow(data.FloatValue(r[0]), data.FloatValue(r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	es := exec.New(cat)
+
+	q := query2D(2000, 30, 45)
+	a, err := Run(e, q.Clone(), Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(es, q.Clone(), Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Satisfied != b.Satisfied || a.Explored != b.Explored {
+		t.Fatalf("row order changed the search: %+v vs %+v", a, b)
+	}
+	if a.Satisfied && (a.Best.QScore != b.Best.QScore || a.Best.Aggregate != b.Best.Aggregate) {
+		t.Errorf("row order changed the answer: %+v vs %+v", a.Best, b.Best)
+	}
+}

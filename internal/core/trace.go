@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"acquire/internal/relq"
+)
+
+// TraceEvent is one step of the refinement search, for debugging and
+// the CLI's -explain mode. Events are emitted in exploration order, so
+// a trace is also a readable proof of Theorem 2's layer ordering.
+type TraceEvent struct {
+	// Seq is the exploration index (0-based).
+	Seq int
+	// Scores is the grid query's refinement vector.
+	Scores []float64
+	// QScore is its refinement score under the search norm.
+	QScore float64
+	// Aggregate is the actual aggregate value.
+	Aggregate float64
+	// Err is the aggregate error.
+	Err float64
+	// Outcome classifies the step: "satisfied", "undershoot",
+	// "overshoot", "repartitioned".
+	Outcome string
+}
+
+// Tracer receives search events. Implementations must be cheap; the
+// search calls them on every explored point.
+type Tracer interface {
+	Event(ev TraceEvent)
+}
+
+// TraceBuffer is a Tracer that records every event.
+type TraceBuffer struct {
+	Events []TraceEvent
+}
+
+// Event implements Tracer.
+func (t *TraceBuffer) Event(ev TraceEvent) { t.Events = append(t.Events, ev) }
+
+// WriteTo renders the trace as an aligned table.
+func (t *TraceBuffer) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s  %-24s  %10s  %12s  %8s  %s\n",
+		"seq", "scores", "QScore", "aggregate", "err", "outcome")
+	for _, ev := range t.Events {
+		fmt.Fprintf(&b, "%4d  %-24s  %10.3f  %12.4g  %8.4f  %s\n",
+			ev.Seq, scoresString(ev.Scores), ev.QScore, ev.Aggregate, ev.Err, ev.Outcome)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func scoresString(scores []float64) string {
+	parts := make([]string, len(scores))
+	for i, s := range scores {
+		parts[i] = fmt.Sprintf("%.3g", s)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// WriterTracer streams events to an io.Writer as they happen.
+type WriterTracer struct {
+	W io.Writer
+}
+
+// Event implements Tracer.
+func (t WriterTracer) Event(ev TraceEvent) {
+	fmt.Fprintf(t.W, "#%d %s QScore=%.3f agg=%.6g err=%.4f %s\n",
+		ev.Seq, scoresString(ev.Scores), ev.QScore, ev.Aggregate, ev.Err, ev.Outcome)
+}
+
+// classify names a step's outcome for the trace.
+func classify(satisfied, overshoot, repartitioned bool) string {
+	switch {
+	case satisfied:
+		return "satisfied"
+	case repartitioned:
+		return "repartitioned"
+	case overshoot:
+		return "overshoot"
+	default:
+		return "undershoot"
+	}
+}
+
+// ExplainResult summarises a Result for human consumption: the layer
+// profile and the recommended queries.
+func ExplainResult(q *relq.Query, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explored %d grid queries (%d evaluation-layer executions, %d stored points)\n",
+		res.Explored, res.CellQueries, res.StoredPoints)
+	if res.Exhausted {
+		b.WriteString("search exhausted its budget or grid\n")
+	}
+	if res.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", res.Note)
+	}
+	if res.Satisfied {
+		fmt.Fprintf(&b, "%d refined queries satisfy the constraint; best:\n  %s\n",
+			len(res.Queries), res.Best.ToSQL())
+		fmt.Fprintf(&b, "  aggregate %.6g (error %.4f), refinement %.4g\n",
+			res.Best.Aggregate, res.Best.Err, res.Best.QScore)
+	} else if res.Closest != nil {
+		fmt.Fprintf(&b, "no refinement satisfied; closest:\n  %s\n  aggregate %.6g (error %.4f)\n",
+			res.Closest.ToSQL(), res.Closest.Aggregate, res.Closest.Err)
+	}
+	return b.String()
+}

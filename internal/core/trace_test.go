@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"acquire/internal/relq"
+)
+
+func TestTraceBuffer(t *testing.T) {
+	e := lineTable(t, 1000)
+	q := countQ(15, leDim(10)) // forces a repartition (see acquire_test)
+	var trace TraceBuffer
+	res, err := Run(e, q, Options{Gamma: 10, Delta: 0.01, Trace: &trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("not satisfied: %+v", res)
+	}
+	if len(trace.Events) != res.Explored {
+		t.Fatalf("trace has %d events, explored %d", len(trace.Events), res.Explored)
+	}
+	// Theorem 2 visible in the trace: QScores never decrease.
+	last := -1.0
+	sawRepartition := false
+	for i, ev := range trace.Events {
+		if ev.Seq != i {
+			t.Errorf("event %d has Seq %d", i, ev.Seq)
+		}
+		if ev.QScore < last-1e-9 {
+			t.Errorf("QScore decreased at event %d: %v after %v", i, ev.QScore, last)
+		}
+		last = ev.QScore
+		if ev.Outcome == "repartitioned" {
+			sawRepartition = true
+		}
+	}
+	if !sawRepartition {
+		t.Error("expected a repartitioned event in this workload")
+	}
+
+	var sb strings.Builder
+	if _, err := trace.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"seq", "QScore", "repartitioned"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered trace missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	e := lineTable(t, 100)
+	q := countQ(50, leDim(10))
+	var sb strings.Builder
+	if _, err := Run(e, q, Options{Delta: 0.001, Trace: WriterTracer{W: &sb}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "satisfied") {
+		t.Errorf("streamed trace missing satisfied event:\n%s", sb.String())
+	}
+}
+
+func TestExplainResult(t *testing.T) {
+	e := lineTable(t, 100)
+	q := countQ(50, leDim(10))
+	res, err := Run(e, q, Options{Delta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ExplainResult(q, res)
+	for _, want := range []string{"explored", "satisfy the constraint", "aggregate 50"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ExplainResult missing %q:\n%s", want, s)
+		}
+	}
+
+	// Unsatisfied path.
+	q2 := countQ(1e6, leDim(10))
+	res2, err := Run(e, q2, Options{Delta: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := ExplainResult(q2, res2)
+	if !strings.Contains(s2, "closest") || !strings.Contains(s2, "exhausted") {
+		t.Errorf("unsatisfied ExplainResult:\n%s", s2)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		sat, over, rep bool
+		want           string
+	}{
+		{true, false, false, "satisfied"},
+		{false, true, false, "overshoot"},
+		{false, true, true, "repartitioned"},
+		{false, false, false, "undershoot"},
+	}
+	for _, c := range cases {
+		if got := classify(c.sat, c.over, c.rep); got != c.want {
+			t.Errorf("classify(%v,%v,%v) = %q, want %q", c.sat, c.over, c.rep, got, c.want)
+		}
+	}
+}
+
+func TestTraceOnContractionAbsent(t *testing.T) {
+	// Contraction runs its own loop; tracing is an expansion feature
+	// and must simply be ignored (no panic).
+	e := lineTable(t, 100)
+	q := &relq.Query{
+		Tables:     []string{"t"},
+		Dims:       []relq.Dimension{leDim(50)},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpLE, Target: 20},
+	}
+	var trace TraceBuffer
+	if _, err := Run(e, q, Options{Delta: 0.001, Trace: &trace}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Catalog is a registry of named tables. It is safe for concurrent
+// readers once loading is complete; registration is mutex-guarded so
+// generators can load tables in parallel.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Register adds a table, rejecting duplicate names.
+func (c *Catalog) Register(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(t.Name())
+	if _, dup := c.tables[key]; dup {
+		return fmt.Errorf("data: table %q already registered", t.Name())
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Replace adds or overwrites a table.
+func (c *Catalog) Replace(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[strings.ToLower(t.Name())] = t
+}
+
+// Table looks up a table by (case-insensitive) name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("data: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		names = append(names, t.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResolveColumn resolves a possibly table-qualified column reference
+// ("part.p_size" or bare "p_size") against the given candidate tables.
+// Bare names must be unambiguous across the candidates.
+func (c *Catalog) ResolveColumn(ref string, candidates []string) (table string, column string, err error) {
+	if i := strings.IndexByte(ref, '.'); i >= 0 {
+		tbl, col := ref[:i], ref[i+1:]
+		t, err := c.Table(tbl)
+		if err != nil {
+			return "", "", err
+		}
+		if t.Schema().Ordinal(col) < 0 {
+			return "", "", fmt.Errorf("data: table %q has no column %q", tbl, col)
+		}
+		return t.Name(), col, nil
+	}
+	var hits []string
+	for _, name := range candidates {
+		t, err := c.Table(name)
+		if err != nil {
+			return "", "", err
+		}
+		if t.Schema().Ordinal(ref) >= 0 {
+			hits = append(hits, t.Name())
+		}
+	}
+	switch len(hits) {
+	case 0:
+		return "", "", fmt.Errorf("data: column %q not found in tables %v", ref, candidates)
+	case 1:
+		return hits[0], ref, nil
+	default:
+		return "", "", fmt.Errorf("data: column %q is ambiguous across tables %v", ref, hits)
+	}
+}

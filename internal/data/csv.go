@@ -1,0 +1,110 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteCSV writes the table with a header row of "name:TYPE" cells so
+// the schema round-trips without a side file.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Schema().Len())
+	for i, c := range t.Schema().Columns {
+		header[i] = c.Name + ":" + c.Type.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, t.Schema().Len())
+	for r := 0; r < t.NumRows(); r++ {
+		for i := range t.Schema().Columns {
+			row[i] = t.ValueAt(r, i).String()
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table written by WriteCSV.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: read CSV header: %w", err)
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		parts := strings.SplitN(h, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("data: CSV header cell %q is not name:TYPE", h)
+		}
+		var typ Type
+		switch strings.ToUpper(parts[1]) {
+		case "BIGINT":
+			typ = Int64
+		case "DOUBLE":
+			typ = Float64
+		case "TEXT":
+			typ = String
+		default:
+			return nil, fmt.Errorf("data: CSV header cell %q has unknown type", h)
+		}
+		cols[i] = Column{Name: parts[0], Type: typ}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(name, schema)
+	vals := make([]Value, len(cols))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: read CSV row: %w", err)
+		}
+		for i, cell := range rec {
+			v, err := ParseValue(cell, cols[i].Type)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		if err := t.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// SaveCSVFile writes the table to path.
+func SaveCSVFile(t *Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCSV(t, f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSVFile reads a table from path; the table name is the caller's.
+func LoadCSVFile(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}

@@ -1,0 +1,78 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns. Column names are compared
+// case-insensitively, matching the SQL dialect in internal/sqlparse.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from columns, validating name uniqueness.
+func NewSchema(cols ...Column) (*Schema, error) {
+	seen := make(map[string]struct{}, len(cols))
+	for _, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("data: empty column name")
+		}
+		if !c.Type.Numeric() && c.Type != String {
+			return nil, fmt.Errorf("data: column %q has invalid type", c.Name)
+		}
+		key := strings.ToLower(c.Name)
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("data: duplicate column %q", c.Name)
+		}
+		seen[key] = struct{}{}
+	}
+	return &Schema{Columns: append([]Column(nil), cols...)}, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and
+// generators with statically known schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Ordinal returns the index of the named column, or -1.
+func (s *Schema) Ordinal(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the column definition by name.
+func (s *Schema) Column(name string) (Column, bool) {
+	i := s.Ordinal(name)
+	if i < 0 {
+		return Column{}, false
+	}
+	return s.Columns[i], true
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// String renders "name TYPE, name TYPE, ...".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,118 @@
+// Package data implements the columnar storage substrate used by the
+// ACQUIRE evaluation layer: typed values, schemas, column vectors,
+// in-memory tables and a catalog, plus CSV import/export.
+//
+// The paper delegates all query execution to a modular evaluation layer
+// (Postgres in the original system); this package together with
+// internal/exec is the stand-in substrate. See DESIGN.md §2.
+package data
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type enumerates the column types the engine supports. ACQUIRE's query
+// model (§2.2 of the paper) is defined over numeric predicate functions,
+// so Float64 and Int64 are the workhorses; String columns carry
+// categorical attributes used by the ontology extension (§7.3).
+type Type uint8
+
+const (
+	// Invalid is the zero Type; it is never valid in a schema.
+	Invalid Type = iota
+	// Int64 is a 64-bit signed integer column.
+	Int64
+	// Float64 is a 64-bit IEEE floating point column.
+	Float64
+	// String is a variable-length string column.
+	String
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "TEXT"
+	default:
+		return "INVALID"
+	}
+}
+
+// Numeric reports whether the type participates in numeric predicates
+// and aggregates.
+func (t Type) Numeric() bool { return t == Int64 || t == Float64 }
+
+// Value is a dynamically typed cell value. Exactly one field is
+// meaningful, selected by Kind. Value is used at API boundaries (parser
+// literals, CSV, example output); the executor works directly on column
+// vectors and never allocates Values in inner loops.
+type Value struct {
+	Kind Type
+	I    int64
+	F    float64
+	S    string
+}
+
+// IntValue wraps an int64.
+func IntValue(v int64) Value { return Value{Kind: Int64, I: v} }
+
+// FloatValue wraps a float64.
+func FloatValue(v float64) Value { return Value{Kind: Float64, F: v} }
+
+// StringValue wraps a string.
+func StringValue(v string) Value { return Value{Kind: String, S: v} }
+
+// AsFloat converts a numeric Value to float64. String values return an
+// error: predicates over categorical data must go through the ontology
+// adapter, never through numeric coercion.
+func (v Value) AsFloat() (float64, error) {
+	switch v.Kind {
+	case Int64:
+		return float64(v.I), nil
+	case Float64:
+		return v.F, nil
+	default:
+		return 0, fmt.Errorf("data: cannot convert %s value to float", v.Kind)
+	}
+}
+
+// String renders the value as it would appear in CSV output.
+func (v Value) String() string {
+	switch v.Kind {
+	case Int64:
+		return strconv.FormatInt(v.I, 10)
+	case Float64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case String:
+		return v.S
+	default:
+		return "<invalid>"
+	}
+}
+
+// ParseValue parses s as the given type.
+func ParseValue(s string, t Type) (Value, error) {
+	switch t {
+	case Int64:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("data: parse %q as BIGINT: %w", s, err)
+		}
+		return IntValue(i), nil
+	case Float64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("data: parse %q as DOUBLE: %w", s, err)
+		}
+		return FloatValue(f), nil
+	case String:
+		return StringValue(s), nil
+	default:
+		return Value{}, fmt.Errorf("data: parse into invalid type")
+	}
+}

@@ -1,0 +1,633 @@
+// Package exec is the evaluation layer of the reproduction: an
+// in-memory columnar executor for conjunctive select-project-join
+// queries with aggregate output. The original system delegated query
+// execution to Postgres and noted the layer is modular (§3); every
+// technique in this repository — ACQUIRE and the baselines — issues its
+// (cell or whole) queries through this same engine, so execution-time
+// comparisons count identical work units.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"acquire/internal/agg"
+	"acquire/internal/data"
+	"acquire/internal/index"
+	"acquire/internal/relq"
+)
+
+// DefaultMaxIntermediate bounds intermediate join results, guarding
+// accidental unbounded cartesian products.
+const DefaultMaxIntermediate = 1 << 26
+
+// Stats counts the work the engine has performed. All counters are
+// cumulative and atomically updated; Snapshot returns a consistent copy.
+type Stats struct {
+	// Queries is the number of query executions (cell queries and whole
+	// queries alike — each is one round trip to the evaluation layer).
+	Queries int64
+	// RowsScanned counts base-table rows touched by scans.
+	RowsScanned int64
+	// TuplesExamined counts join tuples tested against regions.
+	TuplesExamined int64
+	// CellsSkipped counts queries answered empty by the grid index
+	// without scanning (§7.4).
+	CellsSkipped int64
+}
+
+// Engine executes relq queries against a catalog.
+type Engine struct {
+	cat *data.Catalog
+
+	mu       sync.RWMutex
+	colCache map[colKey][]float64
+	cacheGen map[string]int // table -> row count at cache time
+	grids    map[string]*index.Grid
+	sortIdx  map[colKey]*sortedIdx
+
+	// MaxIntermediate bounds intermediate join sizes (tuples).
+	MaxIntermediate int
+	// Parallelism caps scan/aggregation workers; 0 means GOMAXPROCS.
+	Parallelism int
+
+	queries        atomic.Int64
+	rowsScanned    atomic.Int64
+	tuplesExamined atomic.Int64
+	cellsSkipped   atomic.Int64
+}
+
+type colKey struct {
+	table string
+	ord   int
+}
+
+// New creates an engine over the catalog.
+func New(cat *data.Catalog) *Engine {
+	return &Engine{
+		cat:             cat,
+		colCache:        make(map[colKey][]float64),
+		cacheGen:        make(map[string]int),
+		grids:           make(map[string]*index.Grid),
+		sortIdx:         make(map[colKey]*sortedIdx),
+		MaxIntermediate: DefaultMaxIntermediate,
+	}
+}
+
+// Catalog exposes the underlying catalog (read-only use).
+func (e *Engine) Catalog() *data.Catalog { return e.cat }
+
+// Snapshot returns a copy of the statistics counters.
+func (e *Engine) Snapshot() Stats {
+	return Stats{
+		Queries:        e.queries.Load(),
+		RowsScanned:    e.rowsScanned.Load(),
+		TuplesExamined: e.tuplesExamined.Load(),
+		CellsSkipped:   e.cellsSkipped.Load(),
+	}
+}
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() {
+	e.queries.Store(0)
+	e.rowsScanned.Store(0)
+	e.tuplesExamined.Store(0)
+	e.cellsSkipped.Store(0)
+}
+
+// BuildGridIndex builds and registers a §7.4 grid bitmap index over the
+// named numeric columns of a table. Subsequent Aggregate calls use it to
+// skip empty cell queries on that table.
+func (e *Engine) BuildGridIndex(table string, columns []string, binsPerDim int) error {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	g, err := index.Build(t, columns, binsPerDim)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.grids[strings.ToLower(table)] = g
+	e.mu.Unlock()
+	return nil
+}
+
+// DropGridIndex removes a table's grid index.
+func (e *Engine) DropGridIndex(table string) {
+	e.mu.Lock()
+	delete(e.grids, strings.ToLower(table))
+	e.mu.Unlock()
+}
+
+func (e *Engine) grid(table string) *index.Grid {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.grids[strings.ToLower(table)]
+}
+
+// Aggregate executes the query restricted to the violation region and
+// returns the aggregate partial over the qualifying result tuples.
+//
+// The region has one interval per query dimension (in q.Dims order): a
+// result tuple qualifies iff its violation vector lies inside the
+// region. PrefixRegion yields whole refined queries; CellRegion yields
+// the cell sub-queries of §5.1.1.
+func (e *Engine) Aggregate(q *relq.Query, region relq.Region) (agg.Partial, error) {
+	b, err := e.bind(q)
+	if err != nil {
+		return agg.Zero(), err
+	}
+	return e.aggregateBound(b, region)
+}
+
+func (e *Engine) aggregateBound(b *binding, region relq.Region) (agg.Partial, error) {
+	if len(region) != len(b.q.Dims) {
+		return agg.Zero(), fmt.Errorf("exec: region has %d dims, query has %d", len(region), len(b.q.Dims))
+	}
+	e.queries.Add(1)
+	if region.Empty() {
+		return agg.Zero(), nil
+	}
+
+	// Grid-index emptiness check (§7.4): conservative per-table test
+	// over the select dimensions.
+	for ti := range b.tables {
+		if e.cellProvablyEmpty(b, region, ti) {
+			e.cellsSkipped.Add(1)
+			return agg.Zero(), nil
+		}
+	}
+
+	// Phase 1: per-table candidate scan.
+	cands := make([][]int32, len(b.tables))
+	for ti := range b.tables {
+		c, err := e.scanTable(b, region, ti)
+		if err != nil {
+			return agg.Zero(), err
+		}
+		cands[ti] = c
+		if len(cands[ti]) == 0 {
+			return agg.Zero(), nil
+		}
+	}
+
+	// Phase 2: join.
+	tuples, order, err := e.join(b, region, cands)
+	if err != nil {
+		return agg.Zero(), err
+	}
+
+	// Phase 3: final filter + aggregate.
+	return e.finalize(b, region, tuples, order)
+}
+
+// scanTable returns the candidate row indexes of table ti: rows passing
+// every fixed filter on the table and every local select dimension's
+// region upper bound.
+//
+// Access path selection mirrors a DBMS with secondary indexes: the most
+// selective applicable range condition (a fixed range or a select
+// dimension's value interval under the region) drives candidate
+// generation through a sorted index; the remaining predicates are
+// verified per candidate. When no condition narrows the table below
+// half its rows, a full scan is used instead.
+func (e *Engine) scanTable(b *binding, region relq.Region, ti int) ([]int32, error) {
+	t := b.tables[ti]
+	n := t.NumRows()
+
+	type localDim struct {
+		dim *relq.Dimension
+		vec []float64
+		hi  float64
+	}
+	var locals []localDim
+	for _, sd := range b.selDims {
+		if sd.tbl == ti {
+			locals = append(locals, localDim{dim: sd.dim, vec: sd.vec, hi: region[sd.di].Hi})
+		}
+	}
+	ranges := b.ranges[ti]
+	strs := b.strFlts[ti]
+
+	// Candidate driving intervals: fixed ranges and single-interval
+	// select-dimension regions.
+	type drive struct {
+		ord    int
+		lo, hi float64
+	}
+	var drives []drive
+	for i := range ranges {
+		if !math.IsInf(ranges[i].lo, -1) || !math.IsInf(ranges[i].hi, 1) {
+			drives = append(drives, drive{ord: ranges[i].ord, lo: ranges[i].lo, hi: ranges[i].hi})
+		}
+	}
+	for _, sd := range b.selDims {
+		if sd.tbl != ti {
+			continue
+		}
+		ivs := valueIntervals(sd.dim, region[sd.di])
+		if len(ivs) == 0 {
+			return nil, nil // dimension admits nothing
+		}
+		if len(ivs) == 1 {
+			drives = append(drives, drive{ord: sd.ord, lo: ivs[0].Lo, hi: ivs[0].Hi})
+		}
+	}
+
+	var candidates []int32
+	fullScan := true
+	if len(drives) > 0 {
+		bestSize := n + 1
+		var best *sortedIdx
+		var bestDrive drive
+		for _, d := range drives {
+			ix, err := e.sortedIndex(t, d.ord)
+			if err != nil {
+				return nil, err
+			}
+			if sz := ix.rangeSize(d.lo, d.hi); sz < bestSize {
+				bestSize, best, bestDrive = sz, ix, d
+			}
+		}
+		if best != nil && bestSize <= n/2 {
+			candidates = best.rangeRows(bestDrive.lo, bestDrive.hi)
+			fullScan = false
+		}
+	}
+	if fullScan {
+		e.rowsScanned.Add(int64(n))
+	} else {
+		e.rowsScanned.Add(int64(len(candidates)))
+	}
+
+	verify := func(r int32) bool {
+		for i := range ranges {
+			v := ranges[i].vec[r]
+			if v < ranges[i].lo || v > ranges[i].hi {
+				return false
+			}
+		}
+		for i := range strs {
+			if _, ok := strs[i].set[strs[i].vec[r]]; !ok {
+				return false
+			}
+		}
+		for i := range locals {
+			if locals[i].dim.Violation(locals[i].vec[r]) > locals[i].hi {
+				return false
+			}
+		}
+		return true
+	}
+
+	if fullScan {
+		return e.parallelFilter(n, verify), nil
+	}
+	return e.parallelFilterRows(candidates, verify), nil
+}
+
+// cellProvablyEmpty consults a registered grid index to prove the
+// region empty on table ti without scanning. It is conservative: it
+// only answers true when the index covers every select dimension on the
+// table and no occupied grid cell intersects any of the region's value
+// boxes.
+func (e *Engine) cellProvablyEmpty(b *binding, region relq.Region, ti int) bool {
+	g := e.grid(b.q.Tables[ti])
+	if g == nil {
+		return false
+	}
+	gridCols := g.Columns()
+	colPos := make(map[string]int, len(gridCols))
+	for i, c := range gridCols {
+		colPos[strings.ToLower(c)] = i
+	}
+
+	// Each local select dimension maps its violation interval to one or
+	// two value intervals on its column; the cross product of the
+	// per-dimension alternatives forms the boxes to test.
+	type alt struct {
+		pos       int
+		intervals []index.Interval
+	}
+	var alts []alt
+	covered := 0
+	for _, sd := range b.selDims {
+		if sd.tbl != ti {
+			continue
+		}
+		pos, ok := colPos[strings.ToLower(sd.dim.Col.Column)]
+		if !ok {
+			return false // index does not cover this dimension
+		}
+		ivs := valueIntervals(sd.dim, region[sd.di])
+		if len(ivs) == 0 {
+			return true // dimension interval admits no values at all
+		}
+		alts = append(alts, alt{pos: pos, intervals: ivs})
+		covered++
+	}
+	if covered == 0 {
+		return false // nothing to prove with
+	}
+
+	box := make([]index.Interval, len(gridCols))
+	var walk func(i int) bool // returns true if some box is occupied
+	walk = func(i int) bool {
+		if i == len(alts) {
+			for j := range box {
+				used := false
+				for _, a := range alts {
+					if a.pos == j {
+						used = true
+					}
+				}
+				if !used {
+					box[j] = index.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+				}
+			}
+			occ, err := g.AnyInBox(box)
+			return err != nil || occ // on error, assume occupied
+		}
+		for _, iv := range alts[i].intervals {
+			box[alts[i].pos] = iv
+			if walk(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return !walk(0)
+}
+
+// valueIntervals maps a violation interval to the value interval(s) it
+// admits on the dimension's column (closed, conservative).
+func valueIntervals(d *relq.Dimension, iv relq.ViolInterval) []index.Interval {
+	if iv.Hi < 0 {
+		return nil
+	}
+	switch d.Kind {
+	case relq.SelectLE:
+		hi := d.BoundAt(iv.Hi)
+		lo := math.Inf(-1)
+		if iv.Lo >= 0 {
+			lo = d.BoundAt(iv.Lo)
+		}
+		return []index.Interval{{Lo: lo, Hi: hi}}
+	case relq.SelectGE:
+		lo := d.BoundAt(iv.Hi)
+		hi := math.Inf(1)
+		if iv.Lo >= 0 {
+			hi = d.BoundAt(iv.Lo)
+		}
+		return []index.Interval{{Lo: lo, Hi: hi}}
+	case relq.SelectEQ:
+		bandHi := d.BoundAt(iv.Hi)
+		if iv.Lo <= 0 {
+			return []index.Interval{{Lo: d.Bound - bandHi, Hi: d.Bound + bandHi}}
+		}
+		bandLo := d.BoundAt(iv.Lo)
+		return []index.Interval{
+			{Lo: d.Bound - bandHi, Hi: d.Bound - bandLo},
+			{Lo: d.Bound + bandLo, Hi: d.Bound + bandHi},
+		}
+	default:
+		return []index.Interval{{Lo: math.Inf(-1), Hi: math.Inf(1)}}
+	}
+}
+
+// join attaches tables one at a time, preferring hash equi-joins, then
+// band joins, then cartesian products for disconnected components.
+// Returns flattened tuples (stride = len(order)) of candidate-row
+// positions translated to base-table row indexes, plus the attach order
+// (table indexes).
+func (e *Engine) join(b *binding, region relq.Region, cands [][]int32) ([]int32, []int, error) {
+	nt := len(b.tables)
+	if nt == 1 {
+		out := make([]int32, len(cands[0]))
+		copy(out, cands[0])
+		return out, []int{0}, nil
+	}
+
+	attached := map[int]int{0: 0} // table index -> position in order
+	order := []int{0}
+	tuples := make([]int32, len(cands[0]))
+	copy(tuples, cands[0])
+
+	for len(order) < nt {
+		next, edge := e.pickNext(b, attached)
+		if next < 0 {
+			// Disconnected: cartesian with the lowest unattached table.
+			for ti := 0; ti < nt; ti++ {
+				if _, ok := attached[ti]; !ok {
+					next = ti
+					break
+				}
+			}
+		}
+		var err error
+		tuples, err = e.attach(b, region, tuples, order, attached, cands, next, edge)
+		if err != nil {
+			return nil, nil, err
+		}
+		attached[next] = len(order)
+		order = append(order, next)
+		if len(tuples) == 0 {
+			return nil, order, nil
+		}
+	}
+	return tuples, order, nil
+}
+
+// joinEdge describes how a new table connects to the attached set.
+type joinEdge struct {
+	equi *equiBind
+	band *joinBind
+	// flip is true when the new table is the edge's left side.
+	flip bool
+}
+
+// pickNext finds an unattached table connected to the attached set,
+// preferring equi edges.
+func (e *Engine) pickNext(b *binding, attached map[int]int) (int, *joinEdge) {
+	for i := range b.equiJoins {
+		ej := &b.equiJoins[i]
+		_, lIn := attached[ej.ltbl]
+		_, rIn := attached[ej.rtbl]
+		if lIn && !rIn {
+			return ej.rtbl, &joinEdge{equi: ej}
+		}
+		if rIn && !lIn {
+			return ej.ltbl, &joinEdge{equi: ej, flip: true}
+		}
+	}
+	for i := range b.joinDims {
+		jd := &b.joinDims[i]
+		_, lIn := attached[jd.ltbl]
+		_, rIn := attached[jd.rtbl]
+		if lIn && !rIn {
+			return jd.rtbl, &joinEdge{band: jd}
+		}
+		if rIn && !lIn {
+			return jd.ltbl, &joinEdge{band: jd, flip: true}
+		}
+	}
+	return -1, nil
+}
+
+// attach joins the tuples with table `next` via the edge.
+func (e *Engine) attach(b *binding, region relq.Region, tuples []int32, order []int, attached map[int]int, cands [][]int32, next int, edge *joinEdge) ([]int32, error) {
+	stride := len(order)
+	ntup := len(tuples) / max(stride, 1)
+	nextCands := cands[next]
+	newStride := stride + 1
+
+	emit := func(out []int32, ti int, row int32) ([]int32, error) {
+		if (len(out)+newStride)/newStride > e.MaxIntermediate {
+			return nil, fmt.Errorf("exec: intermediate join result exceeds %d tuples", e.MaxIntermediate)
+		}
+		out = append(out, tuples[ti*stride:(ti+1)*stride]...)
+		out = append(out, row)
+		return out, nil
+	}
+
+	var out []int32
+	switch {
+	case edge != nil && edge.equi != nil:
+		ej := edge.equi
+		// Probe side is the attached table; build side is `next`.
+		var probeVec, buildVec []float64
+		var probeCoef, buildCoef float64
+		var probePos int
+		if !edge.flip { // next is right side
+			probeVec, probeCoef, probePos = ej.lvec, ej.lc, attached[ej.ltbl]
+			buildVec, buildCoef = ej.rvec, ej.rc
+		} else {
+			probeVec, probeCoef, probePos = ej.rvec, ej.rc, attached[ej.rtbl]
+			buildVec, buildCoef = ej.lvec, ej.lc
+		}
+		ht := make(map[float64][]int32, len(nextCands))
+		for _, r := range nextCands {
+			k := buildCoef * buildVec[r]
+			ht[k] = append(ht[k], r)
+		}
+		for ti := 0; ti < ntup; ti++ {
+			probeRow := tuples[ti*stride+probePos]
+			k := probeCoef * probeVec[probeRow]
+			for _, r := range ht[k] {
+				var err error
+				out, err = emit(out, ti, r)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+
+	case edge != nil && edge.band != nil:
+		jd := edge.band
+		maxBand := jd.dim.BoundAt(region[jd.di].Hi)
+		var probeVec, buildVec []float64
+		var probeCoef, buildCoef float64
+		var probePos int
+		if !edge.flip { // next is right side
+			probeVec, probeCoef, probePos = jd.lvec, jd.lc, attached[jd.ltbl]
+			buildVec, buildCoef = jd.rvec, jd.rc
+		} else {
+			probeVec, probeCoef, probePos = jd.rvec, jd.rc, attached[jd.rtbl]
+			buildVec, buildCoef = jd.lvec, jd.lc
+		}
+		if buildCoef == 0 {
+			return nil, fmt.Errorf("exec: zero join coefficient")
+		}
+		// Sort build side by scaled value; binary-search the band.
+		type kv struct {
+			key float64
+			row int32
+		}
+		sorted := make([]kv, len(nextCands))
+		for i, r := range nextCands {
+			sorted[i] = kv{key: buildCoef * buildVec[r], row: r}
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].key < sorted[j].key })
+		for ti := 0; ti < ntup; ti++ {
+			probeRow := tuples[ti*stride+probePos]
+			center := probeCoef * probeVec[probeRow]
+			lo := sort.Search(len(sorted), func(i int) bool { return sorted[i].key >= center-maxBand })
+			for i := lo; i < len(sorted) && sorted[i].key <= center+maxBand; i++ {
+				var err error
+				out, err = emit(out, ti, sorted[i].row)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+
+	default: // cartesian
+		for ti := 0; ti < ntup; ti++ {
+			for _, r := range nextCands {
+				var err error
+				out, err = emit(out, ti, r)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// finalize verifies every join condition and the region on each tuple,
+// folding qualifying tuples into the aggregate.
+func (e *Engine) finalize(b *binding, region relq.Region, tuples []int32, order []int) (agg.Partial, error) {
+	stride := len(order)
+	if stride == 0 {
+		return agg.Zero(), nil
+	}
+	pos := make([]int, len(b.tables)) // table index -> slot in tuple
+	for slot, ti := range order {
+		pos[ti] = slot
+	}
+	ntup := len(tuples) / stride
+	e.tuplesExamined.Add(int64(ntup))
+
+	part := e.parallelFold(ntup, func(lo, hi int) agg.Partial {
+		viol := make([]float64, len(b.q.Dims))
+		p := agg.Zero()
+	tuple:
+		for t := lo; t < hi; t++ {
+			row := tuples[t*stride : (t+1)*stride]
+
+			for i := range b.equiJoins {
+				ej := &b.equiJoins[i]
+				l := ej.lc * ej.lvec[row[pos[ej.ltbl]]]
+				r := ej.rc * ej.rvec[row[pos[ej.rtbl]]]
+				if l != r {
+					continue tuple
+				}
+			}
+			for i := range b.selDims {
+				sd := &b.selDims[i]
+				viol[sd.di] = sd.dim.Violation(sd.vec[row[pos[sd.tbl]]])
+			}
+			for i := range b.joinDims {
+				jd := &b.joinDims[i]
+				viol[jd.di] = jd.dim.JoinViolation(jd.lvec[row[pos[jd.ltbl]]], jd.rvec[row[pos[jd.rtbl]]])
+			}
+			if !region.Contains(viol) {
+				continue tuple
+			}
+
+			v := 1.0
+			if b.aggTbl >= 0 {
+				v = b.aggVec[row[pos[b.aggTbl]]]
+			}
+			b.spec.StepValue(&p, v)
+		}
+		return p
+	})
+	return part, nil
+}

@@ -1,0 +1,150 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"acquire/internal/relq"
+)
+
+func TestExplainSingleTable(t *testing.T) {
+	cat := smallCatalog(t, 10, 400, 51)
+	e := New(cat)
+	q := countQuery(relq.Dimension{
+		Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "part", Column: "p_retailprice"},
+		Bound: 400, Width: 2000, // selective: index range scan expected
+	})
+	plan, err := e.Explain(q, relq.PrefixRegion([]float64{0}))
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if len(plan.Steps) != 1 {
+		t.Fatalf("steps = %d", len(plan.Steps))
+	}
+	s := plan.Steps[0]
+	if s.Access != "index range scan" || s.DrivingColumn != "p_retailprice" {
+		t.Errorf("step = %+v", s)
+	}
+	if s.EstimatedRows <= 0 || s.EstimatedRows > 400 {
+		t.Errorf("estimate = %d", s.EstimatedRows)
+	}
+
+	// A wide-open predicate degrades to a full scan.
+	q2 := countQuery(relq.Dimension{
+		Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "part", Column: "p_retailprice"},
+		Bound: 5000, Width: 2000,
+	})
+	plan2, err := e.Explain(q2, relq.PrefixRegion([]float64{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Steps[0].Access != "full scan" {
+		t.Errorf("wide predicate should full-scan: %+v", plan2.Steps[0])
+	}
+
+	rendered := plan.String()
+	if !strings.Contains(rendered, "index range scan on p_retailprice") {
+		t.Errorf("rendered plan:\n%s", rendered)
+	}
+}
+
+func TestExplainJoinOrder(t *testing.T) {
+	cat := smallCatalog(t, 10, 100, 52)
+	e := New(cat)
+	q := &relq.Query{
+		Tables: []string{"supplier", "part", "partsupp"},
+		Fixed: []relq.FixedPred{
+			{Kind: relq.FixedEquiJoin,
+				Left:  relq.ColumnRef{Table: "supplier", Column: "s_suppkey"},
+				Right: relq.ColumnRef{Table: "partsupp", Column: "ps_suppkey"}},
+			{Kind: relq.FixedEquiJoin,
+				Left:  relq.ColumnRef{Table: "part", Column: "p_partkey"},
+				Right: relq.ColumnRef{Table: "partsupp", Column: "ps_partkey"}},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	plan, err := e.Explain(q, relq.Region{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 3 {
+		t.Fatalf("steps = %d", len(plan.Steps))
+	}
+	if plan.Steps[0].Join != "" {
+		t.Errorf("first table has no join: %+v", plan.Steps[0])
+	}
+	for _, s := range plan.Steps[1:] {
+		if s.Join != "hash equi-join" {
+			t.Errorf("expected hash equi-join: %+v", s)
+		}
+	}
+}
+
+func TestExplainGridSkipAndBand(t *testing.T) {
+	cat := smallCatalog(t, 30, 300, 53)
+	e := New(cat)
+	if err := e.BuildGridIndex("part", []string{"p_retailprice"}, 32); err != nil {
+		t.Fatal(err)
+	}
+	q := countQuery(relq.Dimension{
+		Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "part", Column: "p_retailprice"},
+		Bound: 5000, Width: 2000, // beyond domain: expansion cells are empty
+	})
+	plan, err := e.Explain(q, relq.CellRegion([]int{2}, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps[0].Access != "grid-index skip" {
+		t.Errorf("expected grid-index skip: %+v", plan.Steps[0])
+	}
+	e.DropGridIndex("part")
+
+	// Band-join attachment.
+	jq := &relq.Query{
+		Tables: []string{"supplier", "part"},
+		Dims: []relq.Dimension{
+			{Kind: relq.JoinBand,
+				Left:  relq.ColumnRef{Table: "supplier", Column: "s_suppkey"},
+				Right: relq.ColumnRef{Table: "part", Column: "p_partkey"},
+				Width: 100},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	plan, err = e.Explain(jq, relq.PrefixRegion([]float64{5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps[1].Join != "band join" {
+		t.Errorf("expected band join: %+v", plan.Steps[1])
+	}
+
+	// Disconnected tables fall back to cartesian.
+	cq := &relq.Query{
+		Tables:     []string{"supplier", "part"},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	plan, err = e.Explain(cq, relq.Region{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Steps[1].Join != "cartesian" {
+		t.Errorf("expected cartesian: %+v", plan.Steps[1])
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	cat := smallCatalog(t, 5, 5, 54)
+	e := New(cat)
+	q := countQuery(relq.Dimension{
+		Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "part", Column: "p_retailprice"},
+		Bound: 100, Width: 2000,
+	})
+	if _, err := e.Explain(q, relq.Region{}); err == nil {
+		t.Error("region arity: expected error")
+	}
+	bad := &relq.Query{Tables: []string{"ghost"},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1}}
+	if _, err := e.Explain(bad, relq.Region{}); err == nil {
+		t.Error("unknown table: expected error")
+	}
+}

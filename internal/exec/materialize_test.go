@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"testing"
+
+	"acquire/internal/relq"
+)
+
+func TestMaterializeSingleTable(t *testing.T) {
+	cat := smallCatalog(t, 10, 100, 31)
+	e := New(cat)
+	q := countQuery(relq.Dimension{
+		Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "part", Column: "p_retailprice"},
+		Bound: 800, Width: 2000,
+	})
+	region := relq.PrefixRegion([]float64{0})
+	rs, err := e.Materialize(q, region, 1000)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	agg, err := e.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(rs.Rows)) != agg.Count {
+		t.Errorf("materialized %d rows, aggregate count %d", len(rs.Rows), agg.Count)
+	}
+	if rs.Truncated {
+		t.Error("unexpected truncation")
+	}
+	if len(rs.Columns) != 4 || rs.Columns[0] != "part.p_partkey" {
+		t.Errorf("columns = %v", rs.Columns)
+	}
+	// Every returned row satisfies the predicate.
+	for _, row := range rs.Rows {
+		price, err := row[1].AsFloat()
+		if err != nil || price > 800 {
+			t.Fatalf("row violates predicate: %v (%v)", row, err)
+		}
+	}
+}
+
+func TestMaterializeLimit(t *testing.T) {
+	cat := smallCatalog(t, 10, 100, 32)
+	e := New(cat)
+	q := countQuery(relq.Dimension{
+		Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "part", Column: "p_retailprice"},
+		Bound: 2100, Width: 2000,
+	})
+	rs, err := e.Materialize(q, relq.PrefixRegion([]float64{0}), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 7 || !rs.Truncated {
+		t.Errorf("rows = %d truncated = %v", len(rs.Rows), rs.Truncated)
+	}
+	if _, err := e.Materialize(q, relq.PrefixRegion([]float64{0}), 0); err == nil {
+		t.Error("limit 0: expected error")
+	}
+	if _, err := e.Materialize(q, relq.Region{}, 5); err == nil {
+		t.Error("region arity: expected error")
+	}
+}
+
+func TestMaterializeJoin(t *testing.T) {
+	cat := smallCatalog(t, 10, 50, 33)
+	e := New(cat)
+	q := &relq.Query{
+		Tables: []string{"part", "partsupp"},
+		Fixed: []relq.FixedPred{
+			{Kind: relq.FixedEquiJoin,
+				Left:  relq.ColumnRef{Table: "part", Column: "p_partkey"},
+				Right: relq.ColumnRef{Table: "partsupp", Column: "ps_partkey"}},
+		},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "part", Column: "p_retailprice"}, Bound: 1000, Width: 2000},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	region := relq.PrefixRegion([]float64{3})
+	rs, err := e.Materialize(q, region, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := e.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(rs.Rows)) != agg.Count {
+		t.Errorf("materialized %d, count %d", len(rs.Rows), agg.Count)
+	}
+	// Join columns line up: part.p_partkey == partsupp.ps_partkey.
+	pkIdx, psIdx := -1, -1
+	for i, c := range rs.Columns {
+		switch c {
+		case "part.p_partkey":
+			pkIdx = i
+		case "partsupp.ps_partkey":
+			psIdx = i
+		}
+	}
+	if pkIdx < 0 || psIdx < 0 {
+		t.Fatalf("join columns missing: %v", rs.Columns)
+	}
+	for _, row := range rs.Rows {
+		if row[pkIdx] != row[psIdx] {
+			t.Fatalf("join key mismatch in row: %v vs %v", row[pkIdx], row[psIdx])
+		}
+	}
+}
+
+func TestMaterializeEmptyRegion(t *testing.T) {
+	cat := smallCatalog(t, 5, 20, 34)
+	e := New(cat)
+	q := countQuery(relq.Dimension{
+		Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "part", Column: "p_retailprice"},
+		Bound: 1000, Width: 2000,
+	})
+	rs, err := e.Materialize(q, relq.Region{{Lo: 5, Hi: 5}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 0 {
+		t.Errorf("rows = %d", len(rs.Rows))
+	}
+}

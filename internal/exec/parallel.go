@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+
+	"acquire/internal/agg"
+)
+
+// parallelThreshold is the work size below which fan-out costs more
+// than it saves.
+const parallelThreshold = 65536
+
+// workers returns the engine's worker count (Parallelism, defaulting
+// to GOMAXPROCS, floored at 1).
+func (e *Engine) workers() int {
+	w := e.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// chunks splits [0, n) into at most k near-equal contiguous ranges.
+func chunks(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	out := make([][2]int, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// parallelFilter applies verify to every index in [0, n), returning
+// the passing indexes in order. Chunks are processed concurrently and
+// concatenated in chunk order, so the result is identical to the
+// sequential scan.
+func (e *Engine) parallelFilter(n int, verify func(r int32) bool) []int32 {
+	w := e.workers()
+	if w == 1 || n < parallelThreshold {
+		out := make([]int32, 0, 64)
+		for r := 0; r < n; r++ {
+			if verify(int32(r)) {
+				out = append(out, int32(r))
+			}
+		}
+		return out
+	}
+	parts := chunks(n, w)
+	results := make([][]int32, len(parts))
+	var wg sync.WaitGroup
+	for ci, c := range parts {
+		wg.Add(1)
+		go func(ci int, lo, hi int) {
+			defer wg.Done()
+			local := make([]int32, 0, (hi-lo)/8+8)
+			for r := lo; r < hi; r++ {
+				if verify(int32(r)) {
+					local = append(local, int32(r))
+				}
+			}
+			results[ci] = local
+		}(ci, c[0], c[1])
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]int32, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// parallelFilterRows is parallelFilter over an explicit candidate list.
+func (e *Engine) parallelFilterRows(cands []int32, verify func(r int32) bool) []int32 {
+	w := e.workers()
+	if w == 1 || len(cands) < parallelThreshold {
+		out := make([]int32, 0, 64)
+		for _, r := range cands {
+			if verify(r) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	parts := chunks(len(cands), w)
+	results := make([][]int32, len(parts))
+	var wg sync.WaitGroup
+	for ci, c := range parts {
+		wg.Add(1)
+		go func(ci int, lo, hi int) {
+			defer wg.Done()
+			local := make([]int32, 0, (hi-lo)/8+8)
+			for _, r := range cands[lo:hi] {
+				if verify(r) {
+					local = append(local, r)
+				}
+			}
+			results[ci] = local
+		}(ci, c[0], c[1])
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]int32, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// parallelFold folds chunk aggregates of [0, ntup) and merges them in
+// chunk order (deterministic float summation independent of scheduling;
+// results differ from a strictly sequential fold only by a fixed,
+// chunk-shaped association of additions).
+func (e *Engine) parallelFold(ntup int, fold func(lo, hi int) agg.Partial) agg.Partial {
+	w := e.workers()
+	if w == 1 || ntup < parallelThreshold {
+		return fold(0, ntup)
+	}
+	parts := chunks(ntup, w)
+	partials := make([]agg.Partial, len(parts))
+	var wg sync.WaitGroup
+	for ci, c := range parts {
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			partials[ci] = fold(lo, hi)
+		}(ci, c[0], c[1])
+	}
+	wg.Wait()
+	out := agg.Zero()
+	for _, p := range partials {
+		out = agg.Merge(out, p)
+	}
+	return out
+}

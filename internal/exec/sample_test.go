@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"acquire/internal/relq"
+)
+
+func TestNewSampledValidation(t *testing.T) {
+	cat := smallCatalog(t, 10, 100, 41)
+	if _, err := NewSampled(cat, 0, 1); err == nil {
+		t.Error("fraction 0: expected error")
+	}
+	if _, err := NewSampled(cat, 1.5, 1); err == nil {
+		t.Error("fraction > 1: expected error")
+	}
+	// A vanishing fraction leaves some table empty.
+	if _, err := NewSampled(cat, 1e-9, 1); err == nil {
+		t.Error("empty sample: expected error")
+	}
+}
+
+func TestSampledExtrapolatesCountAndSum(t *testing.T) {
+	cat := smallCatalog(t, 50, 4000, 42)
+	full := New(cat)
+	s, err := NewSampled(cat, 0.25, 7)
+	if err != nil {
+		t.Fatalf("NewSampled: %v", err)
+	}
+	if s.Fraction() != 0.25 || s.FullCatalog() != cat {
+		t.Error("metadata")
+	}
+
+	q := &relq.Query{
+		Tables: []string{"part"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "part", Column: "p_retailprice"}, Bound: 1000, Width: 2000},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	region := relq.PrefixRegion([]float64{10})
+	est, err := s.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := full.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(float64(est.Count)-float64(exact.Count)) / float64(exact.Count)
+	if rel > 0.15 {
+		t.Errorf("sampled count %d vs exact %d (rel %v)", est.Count, exact.Count, rel)
+	}
+
+	// SUM scales the same way.
+	qs := q.Clone()
+	qs.Constraint = relq.Constraint{Func: relq.AggSum,
+		Attr: relq.ColumnRef{Table: "part", Column: "p_retailprice"}, Op: relq.CmpGE, Target: 1}
+	estS, err := s.Aggregate(qs, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactS, err := full.Aggregate(qs, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(estS.Sum-exactS.Sum)/exactS.Sum > 0.15 {
+		t.Errorf("sampled sum %v vs exact %v", estS.Sum, exactS.Sum)
+	}
+
+	// MIN/MAX are not scaled: sample extrema lie within full extrema.
+	if est.Min < exact.Min-1e9 || est.Max > exact.Max {
+		t.Errorf("sample extrema out of range: [%v, %v] vs [%v, %v]", est.Min, est.Max, exact.Min, exact.Max)
+	}
+}
+
+func TestSampledJointJoinScaling(t *testing.T) {
+	cat := smallCatalog(t, 40, 4000, 43)
+	full := New(cat)
+	s, err := NewSampled(cat, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &relq.Query{
+		Tables: []string{"part", "partsupp"},
+		Fixed: []relq.FixedPred{
+			{Kind: relq.FixedEquiJoin,
+				Left:  relq.ColumnRef{Table: "part", Column: "p_partkey"},
+				Right: relq.ColumnRef{Table: "partsupp", Column: "ps_partkey"}},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	est, err := s.Aggregate(q, relq.Region{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := full.Aggregate(q, relq.Region{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joint factor 0.25; sampling noise on joins is larger — accept 30%.
+	rel := math.Abs(float64(est.Count)-float64(exact.Count)) / float64(exact.Count)
+	if rel > 0.30 {
+		t.Errorf("sampled join count %d vs exact %d (rel %v)", est.Count, exact.Count, rel)
+	}
+}

@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"fmt"
+
+	"acquire/internal/relq"
+)
+
+// RowViolations is the per-row output of ViolationScan: the row index,
+// its violation vector over the query dimensions, and its aggregate
+// attribute value (1 for COUNT(*)).
+type RowViolations struct {
+	Row      int32
+	Viol     []float64
+	AggValue float64
+}
+
+// ViolationScan scans a single-table query and returns, for every row
+// passing the fixed filters, its violation vector over the query's
+// select dimensions. This is the primitive behind the Top-k baseline's
+// ORDER BY <violation expression> LIMIT k query (§8.2): the whole table
+// is examined regardless of how much refinement is eventually needed,
+// which is exactly the cost profile the paper observes for Top-k.
+//
+// Counts as one query execution against the evaluation layer. Join
+// queries are rejected: "none of the above techniques are capable of
+// refining join predicates" (§8.2).
+func (e *Engine) ViolationScan(q *relq.Query) ([]RowViolations, error) {
+	b, err := e.bind(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(b.tables) != 1 {
+		return nil, fmt.Errorf("exec: ViolationScan supports single-table queries, got %d tables", len(b.tables))
+	}
+	if len(b.joinDims) != 0 {
+		return nil, fmt.Errorf("exec: ViolationScan does not support join dimensions")
+	}
+	e.queries.Add(1)
+	n := b.tables[0].NumRows()
+	e.rowsScanned.Add(int64(n))
+
+	d := len(b.q.Dims)
+	out := make([]RowViolations, 0, n)
+	// One flat backing array for all violation vectors: a 1M-row scan
+	// must not allocate 1M tiny slices.
+	backing := make([]float64, 0, n*d)
+rows:
+	for r := 0; r < n; r++ {
+		for _, rb := range b.ranges[0] {
+			v := rb.vec[r]
+			if v < rb.lo || v > rb.hi {
+				continue rows
+			}
+		}
+		for _, sb := range b.strFlts[0] {
+			if _, ok := sb.set[sb.vec[r]]; !ok {
+				continue rows
+			}
+		}
+		// cap(backing) is n*d, so extending the length never
+		// reallocates (which would invalidate earlier sub-slices).
+		start := len(backing)
+		backing = backing[:start+d]
+		viol := backing[start : start+d]
+		for _, sd := range b.selDims {
+			viol[sd.di] = sd.dim.Violation(sd.vec[r])
+		}
+		v := 1.0
+		if b.aggTbl >= 0 {
+			v = b.aggVec[r]
+		}
+		out = append(out, RowViolations{Row: int32(r), Viol: viol, AggValue: v})
+	}
+	return out, nil
+}
+
+// Count is a convenience wrapper: the COUNT(*) of the query restricted
+// to the region, regardless of the query's own constraint aggregate.
+func (e *Engine) Count(q *relq.Query, region relq.Region) (int64, error) {
+	p, err := e.Aggregate(q, region)
+	if err != nil {
+		return 0, err
+	}
+	return p.Count, nil
+}

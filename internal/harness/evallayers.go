@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"math"
+	"time"
+
+	"acquire/internal/core"
+	"acquire/internal/exec"
+	"acquire/internal/histogram"
+	"acquire/internal/relq"
+	"acquire/internal/workload"
+)
+
+// EvaluationLayerStudy compares the three §3 evaluation layers driving
+// the same ACQUIRE searches: exact execution, 10% Bernoulli sampling
+// with extrapolation, and histogram estimation. For the approximate
+// layers, the returned refined query is re-evaluated on the full data
+// and its *true* relative error reported — the metric a user actually
+// experiences. (Figure 10.a's 1K point "mimic[s] a sample based
+// approach"; this study implements the real mechanism.)
+func EvaluationLayerStudy(cfg Config) ([]Figure, error) {
+	cfg = cfg.WithDefaults()
+	e, err := usersEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sampled, err := exec.NewSampled(e.Catalog(), 0.1, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := histogram.NewEvaluator(e.Catalog(), 64)
+	if err != nil {
+		return nil, err
+	}
+
+	layers := []struct {
+		name string
+		ev   core.Evaluator
+	}{
+		{"exact", e},
+		{"sample-10%", sampled},
+		{"histogram", hist},
+	}
+
+	timeFig := Figure{ID: "eval.time", Title: "Evaluation layers: ACQUIRE time", XLabel: "aggregate ratio",
+		X: Ratios, YLabel: "time (ms)"}
+	errFig := Figure{ID: "eval.err", Title: "Evaluation layers: true relative error of returned query",
+		XLabel: "aggregate ratio", X: Ratios, YLabel: "true relative error"}
+
+	for _, layer := range layers {
+		ts := Series{Name: layer.name, Y: make([]float64, len(Ratios))}
+		es := Series{Name: layer.name, Y: make([]float64, len(Ratios))}
+		for i, r := range Ratios {
+			// Calibrate against the exact engine so every layer chases
+			// the same true target.
+			q, err := workload.BuildCalibrated(e, workload.Spec{
+				Kind: workload.Users, Dims: 3, Agg: relq.AggCount, Ratio: r,
+			})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			res, err := core.Run(layer.ev, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			ts.Y[i] = float64(elapsed.Microseconds()) / 1000
+
+			pick := res.Best
+			if pick == nil {
+				pick = res.Closest
+			}
+			if pick == nil {
+				es.Y[i] = math.NaN()
+				continue
+			}
+			// True error: execute the recommended refinement exactly.
+			truth, err := e.Aggregate(q, relq.PrefixRegion(pick.Scores))
+			if err != nil {
+				return nil, err
+			}
+			es.Y[i] = math.Abs(float64(truth.Count)-q.Constraint.Target) / q.Constraint.Target
+		}
+		timeFig.Series = append(timeFig.Series, ts)
+		errFig.Series = append(errFig.Series, es)
+	}
+	return []Figure{timeFig, errFig}, nil
+}

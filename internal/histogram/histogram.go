@@ -1,0 +1,268 @@
+// Package histogram implements the estimation evaluation layer of §3:
+// per-column equi-depth histograms answer COUNT-constrained refinement
+// searches without touching the data at query time, under the textbook
+// attribute-independence assumption. Estimation error is bounded by
+// bucket resolution; the search's δ threshold must be read against it.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"acquire/internal/agg"
+	"acquire/internal/data"
+	"acquire/internal/relq"
+)
+
+// Histogram is an equi-depth (equal-frequency) histogram of one
+// numeric column.
+type Histogram struct {
+	// bounds[i] .. bounds[i+1] delimit bucket i (len = buckets + 1).
+	bounds []float64
+	// counts[i] is the number of rows in bucket i.
+	counts []float64
+	total  float64
+}
+
+// BuildColumn builds an equi-depth histogram with the given bucket
+// count.
+func BuildColumn(t *data.Table, column string, buckets int) (*Histogram, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("histogram: buckets must be >= 1, got %d", buckets)
+	}
+	ord := t.Schema().Ordinal(column)
+	if ord < 0 {
+		return nil, fmt.Errorf("histogram: table %s has no column %q", t.Name(), column)
+	}
+	vec, err := t.NumericColumn(ord)
+	if err != nil {
+		return nil, err
+	}
+	if len(vec) == 0 {
+		return nil, fmt.Errorf("histogram: table %s is empty", t.Name())
+	}
+	sorted := append([]float64(nil), vec...)
+	sort.Float64s(sorted)
+
+	h := &Histogram{total: float64(len(sorted))}
+	n := len(sorted)
+	if buckets > n {
+		buckets = n
+	}
+	h.bounds = append(h.bounds, sorted[0])
+	prevIdx := 0
+	for b := 1; b <= buckets; b++ {
+		idx := b * n / buckets
+		if idx <= prevIdx {
+			continue
+		}
+		h.bounds = append(h.bounds, sorted[idx-1])
+		h.counts = append(h.counts, float64(idx-prevIdx))
+		prevIdx = idx
+	}
+	return h, nil
+}
+
+// SelectivityLE estimates P(v <= x) with linear interpolation inside
+// the bucket containing x.
+func (h *Histogram) SelectivityLE(x float64) float64 {
+	if x < h.bounds[0] {
+		return 0
+	}
+	if x >= h.bounds[len(h.bounds)-1] {
+		return 1
+	}
+	acc := 0.0
+	for i, c := range h.counts {
+		lo, hi := h.bounds[i], h.bounds[i+1]
+		if x >= hi {
+			acc += c
+			continue
+		}
+		if hi > lo {
+			acc += c * (x - lo) / (hi - lo)
+		}
+		break
+	}
+	return acc / h.total
+}
+
+// SelectivityRange estimates P(lo <= v <= hi).
+func (h *Histogram) SelectivityRange(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	s := h.SelectivityLE(hi) - h.SelectivityLE(lo)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Evaluator is a core.Evaluator answering COUNT aggregates from
+// histograms: estimated count = |T| · Π_i selectivity(pred_i), the
+// independence assumption. Equi-joins are estimated with the textbook
+// containment formula |R ⋈ S| ≈ |R|·|S| / max(V(R.k), V(S.k)) using
+// exact per-column distinct counts; refinable join bands are not
+// estimable (their selectivity needs the joint key distribution).
+type Evaluator struct {
+	cat   *data.Catalog
+	hists map[string]map[string]*Histogram // table -> column -> histogram
+	// Estimates counts estimator invocations (the analogue of engine
+	// query executions).
+	Estimates int64
+}
+
+// NewEvaluator builds histograms (with the given bucket count) for
+// every numeric column of every table in the catalog.
+func NewEvaluator(cat *data.Catalog, buckets int) (*Evaluator, error) {
+	ev := &Evaluator{cat: cat, hists: make(map[string]map[string]*Histogram)}
+	for _, name := range cat.Names() {
+		t, err := cat.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		cols := make(map[string]*Histogram)
+		for _, c := range t.Schema().Columns {
+			if !c.Type.Numeric() {
+				continue
+			}
+			h, err := BuildColumn(t, c.Name, buckets)
+			if err != nil {
+				return nil, err
+			}
+			cols[strings.ToLower(c.Name)] = h
+		}
+		ev.hists[strings.ToLower(name)] = cols
+	}
+	return ev, nil
+}
+
+// Catalog implements core.Evaluator.
+func (ev *Evaluator) Catalog() *data.Catalog { return ev.cat }
+
+// Aggregate implements core.Evaluator for COUNT queries over
+// conjunctive selections and NOREFINE equi-joins.
+func (ev *Evaluator) Aggregate(q *relq.Query, region relq.Region) (agg.Partial, error) {
+	if q.Constraint.Func != relq.AggCount {
+		return agg.Zero(), fmt.Errorf("histogram: only COUNT constraints are estimable, got %s", q.Constraint.Func)
+	}
+	if len(region) != len(q.Dims) {
+		return agg.Zero(), fmt.Errorf("histogram: region has %d dims, query has %d", len(region), len(q.Dims))
+	}
+	hist := func(ref relq.ColumnRef) (*Histogram, error) {
+		cols, ok := ev.hists[strings.ToLower(ref.Table)]
+		if !ok {
+			return nil, fmt.Errorf("histogram: no statistics for table %q", ref.Table)
+		}
+		h, ok := cols[strings.ToLower(ref.Column)]
+		if !ok {
+			return nil, fmt.Errorf("histogram: no statistics for column %s", ref)
+		}
+		return h, nil
+	}
+	ev.Estimates++
+
+	// Cross-product size, then multiply selectivities and divide by
+	// join key diversity (containment assumption).
+	sel := 1.0
+	cross := 1.0
+	for _, name := range q.Tables {
+		t, err := ev.cat.Table(name)
+		if err != nil {
+			return agg.Zero(), err
+		}
+		cross *= float64(t.NumRows())
+	}
+
+	distinct := func(ref relq.ColumnRef) (float64, error) {
+		t, err := ev.cat.Table(ref.Table)
+		if err != nil {
+			return 0, err
+		}
+		ord := t.Schema().Ordinal(ref.Column)
+		if ord < 0 {
+			return 0, fmt.Errorf("histogram: table %s has no column %q", ref.Table, ref.Column)
+		}
+		st, err := t.Stats(ord)
+		if err != nil {
+			return 0, err
+		}
+		return math.Max(float64(st.Distinct), 1), nil
+	}
+
+	for i := range q.Fixed {
+		p := &q.Fixed[i]
+		switch p.Kind {
+		case relq.FixedRange:
+			h, err := hist(p.Col)
+			if err != nil {
+				return agg.Zero(), err
+			}
+			sel *= h.SelectivityRange(p.Lo, p.Hi)
+		case relq.FixedStringIn:
+			// No string statistics: assume the filter keeps everything
+			// (a conservative over-estimate, reported in docs).
+		case relq.FixedEquiJoin:
+			vl, err := distinct(p.Left)
+			if err != nil {
+				return agg.Zero(), err
+			}
+			vr, err := distinct(p.Right)
+			if err != nil {
+				return agg.Zero(), err
+			}
+			sel /= math.Max(vl, vr)
+		default:
+			return agg.Zero(), fmt.Errorf("histogram: unsupported fixed predicate for estimation")
+		}
+	}
+	for i := range q.Dims {
+		d := &q.Dims[i]
+		h, err := hist(d.Col)
+		if err != nil {
+			return agg.Zero(), err
+		}
+		iv := region[i]
+		if iv.Hi < 0 {
+			return agg.Zero(), nil
+		}
+		var s float64
+		switch d.Kind {
+		case relq.SelectLE:
+			hiB := d.BoundAt(iv.Hi)
+			loB := math.Inf(-1)
+			if iv.Lo >= 0 {
+				loB = d.BoundAt(iv.Lo)
+			}
+			s = h.SelectivityRange(loB, hiB)
+		case relq.SelectGE:
+			loB := d.BoundAt(iv.Hi)
+			hiB := math.Inf(1)
+			if iv.Lo >= 0 {
+				hiB = d.BoundAt(iv.Lo)
+			}
+			s = h.SelectivityRange(loB, hiB)
+		case relq.SelectEQ:
+			bandHi := d.BoundAt(iv.Hi)
+			if iv.Lo <= 0 {
+				s = h.SelectivityRange(d.Bound-bandHi, d.Bound+bandHi)
+			} else {
+				bandLo := d.BoundAt(iv.Lo)
+				s = h.SelectivityRange(d.Bound-bandHi, d.Bound-bandLo) +
+					h.SelectivityRange(d.Bound+bandLo, d.Bound+bandHi)
+			}
+		default:
+			return agg.Zero(), fmt.Errorf("histogram: join dimensions are not estimable")
+		}
+		sel *= s
+	}
+
+	est := sel * cross
+	p := agg.Zero()
+	p.Count = int64(math.Round(est))
+	p.Sum = est // COUNT(*) steps feed 1 per row; keep Sum consistent
+	return p, nil
+}

@@ -1,0 +1,302 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acquire/internal/core"
+	"acquire/internal/data"
+	"acquire/internal/exec"
+	"acquire/internal/relq"
+)
+
+func uniformTable(t *testing.T, n int, seed int64) *data.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tbl := data.NewTable("t", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "y", Type: data.Float64},
+		data.Column{Name: "s", Type: data.String},
+	))
+	for i := 0; i < n; i++ {
+		if err := tbl.AppendRow(
+			data.FloatValue(rng.Float64()*100),
+			data.FloatValue(rng.Float64()*100),
+			data.StringValue("a"),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestBuildColumnValidation(t *testing.T) {
+	tbl := uniformTable(t, 100, 1)
+	if _, err := BuildColumn(tbl, "x", 0); err == nil {
+		t.Error("zero buckets: expected error")
+	}
+	if _, err := BuildColumn(tbl, "nope", 8); err == nil {
+		t.Error("unknown column: expected error")
+	}
+	if _, err := BuildColumn(tbl, "s", 8); err == nil {
+		t.Error("TEXT column: expected error")
+	}
+	empty := data.NewTable("e", data.MustSchema(data.Column{Name: "x", Type: data.Float64}))
+	if _, err := BuildColumn(empty, "x", 8); err == nil {
+		t.Error("empty table: expected error")
+	}
+}
+
+func TestSelectivityAccuracy(t *testing.T) {
+	tbl := uniformTable(t, 20000, 2)
+	h, err := BuildColumn(tbl, "x", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform [0, 100): P(x <= c) ≈ c/100.
+	for _, c := range []float64{10, 25, 50, 75, 95} {
+		got := h.SelectivityLE(c)
+		if math.Abs(got-c/100) > 0.03 {
+			t.Errorf("SelectivityLE(%v) = %v, want ≈%v", c, got, c/100)
+		}
+	}
+	if h.SelectivityLE(-5) != 0 || h.SelectivityLE(500) != 1 {
+		t.Error("boundary selectivities wrong")
+	}
+	if got := h.SelectivityRange(25, 75); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("SelectivityRange(25,75) = %v", got)
+	}
+	if h.SelectivityRange(75, 25) != 0 {
+		t.Error("inverted range should be 0")
+	}
+}
+
+func evaluatorFixture(t *testing.T, n int) (*Evaluator, *exec.Engine, *relq.Query) {
+	t.Helper()
+	tbl := uniformTable(t, n, 3)
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(cat, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &relq.Query{
+		Tables: []string{"t"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "x"}, Bound: 30, Width: 100},
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "y"}, Bound: 30, Width: 100},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	return ev, exec.New(cat), q
+}
+
+func TestEvaluatorMatchesExactWithinTolerance(t *testing.T) {
+	ev, eng, q := evaluatorFixture(t, 20000)
+	for _, scores := range [][]float64{{0, 0}, {10, 5}, {30, 30}, {0, 50}} {
+		region := relq.PrefixRegion(scores)
+		est, err := ev.Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := eng.Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Count == 0 {
+			continue
+		}
+		rel := math.Abs(float64(est.Count)-float64(exact.Count)) / float64(exact.Count)
+		if rel > 0.10 {
+			t.Errorf("scores %v: estimate %d vs exact %d (rel %v)", scores, est.Count, exact.Count, rel)
+		}
+	}
+	if ev.Estimates == 0 {
+		t.Error("Estimates counter not advanced")
+	}
+}
+
+func TestEvaluatorDrivesACQUIRE(t *testing.T) {
+	ev, eng, q := evaluatorFixture(t, 20000)
+	// Estimation-driven refinement: no data is scanned during the
+	// search; the returned query is then validated on the real engine.
+	q.Constraint.Target = 4000
+	res, err := core.Run(ev, q, core.Options{Gamma: 10, Delta: 0.05})
+	if err != nil {
+		t.Fatalf("estimation-driven Run: %v", err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("not satisfied: %+v", res)
+	}
+	// True aggregate of the recommended query is close to the target —
+	// within δ plus the estimator's own tolerance.
+	exact, err := eng.Aggregate(q, relq.PrefixRegion(res.Best.Scores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueErr := math.Abs(float64(exact.Count)-4000) / 4000
+	if trueErr > 0.05+0.10 {
+		t.Errorf("true error %v too large (estimate said %v)", trueErr, res.Best.Aggregate)
+	}
+}
+
+func TestEvaluatorRejections(t *testing.T) {
+	ev, _, q := evaluatorFixture(t, 500)
+	multi := &relq.Query{
+		Tables:     []string{"t", "u"},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	if _, err := ev.Aggregate(multi, relq.Region{}); err == nil {
+		t.Error("multi-table: expected error")
+	}
+	sum := q.Clone()
+	sum.Constraint = relq.Constraint{Func: relq.AggSum, Attr: relq.ColumnRef{Table: "t", Column: "x"}, Op: relq.CmpGE, Target: 1}
+	if _, err := ev.Aggregate(sum, relq.PrefixRegion([]float64{0, 0})); err == nil {
+		t.Error("SUM: expected error")
+	}
+	if _, err := ev.Aggregate(q, relq.Region{}); err == nil {
+		t.Error("region arity: expected error")
+	}
+	join := &relq.Query{
+		Tables: []string{"t"},
+		Dims: []relq.Dimension{
+			{Kind: relq.JoinBand, Left: relq.ColumnRef{Table: "t", Column: "x"}, Right: relq.ColumnRef{Table: "u", Column: "x"}, Width: 100},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	if _, err := ev.Aggregate(join, relq.PrefixRegion([]float64{0})); err == nil {
+		t.Error("join dim: expected error")
+	}
+	ghost := q.Clone()
+	ghost.Dims[0].Col.Column = "ghost"
+	if _, err := ev.Aggregate(ghost, relq.PrefixRegion([]float64{0, 0})); err == nil {
+		t.Error("unknown column: expected error")
+	}
+}
+
+func TestEvaluatorFixedPredicates(t *testing.T) {
+	tbl := uniformTable(t, 10000, 5)
+	cat := data.NewCatalog()
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(cat, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := exec.New(cat)
+	q := &relq.Query{
+		Tables: []string{"t"},
+		Fixed: []relq.FixedPred{
+			{Kind: relq.FixedRange, Col: relq.ColumnRef{Table: "t", Column: "y"}, Lo: 20, Hi: 60},
+			{Kind: relq.FixedStringIn, Col: relq.ColumnRef{Table: "t", Column: "s"}, Values: []string{"a"}},
+		},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "t", Column: "x"}, Bound: 50, Width: 100},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	region := relq.PrefixRegion([]float64{0})
+	est, err := ev.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := eng.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(float64(est.Count)-float64(exact.Count)) / float64(exact.Count)
+	if rel > 0.10 {
+		t.Errorf("estimate %d vs exact %d", est.Count, exact.Count)
+	}
+}
+
+// Property: SelectivityLE is monotone non-decreasing.
+func TestSelectivityMonotone(t *testing.T) {
+	tbl := uniformTable(t, 5000, 7)
+	h, err := BuildColumn(tbl, "x", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for x := -10.0; x <= 110; x += 0.7 {
+		s := h.SelectivityLE(x)
+		if s < prev-1e-12 {
+			t.Fatalf("selectivity decreased at %v: %v after %v", x, s, prev)
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("selectivity out of range at %v: %v", x, s)
+		}
+		prev = s
+	}
+}
+
+// Join estimation: the containment formula lands near the exact joined
+// count on key-joined tables with independent filters.
+func TestJoinEstimation(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	nPart, fanout := 500, 4
+	part := data.NewTable("part", data.MustSchema(
+		data.Column{Name: "p_partkey", Type: data.Int64},
+		data.Column{Name: "p_price", Type: data.Float64},
+	))
+	for i := 0; i < nPart; i++ {
+		if err := part.AppendRow(data.IntValue(int64(i)), data.FloatValue(rng.Float64()*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps := data.NewTable("partsupp", data.MustSchema(
+		data.Column{Name: "ps_partkey", Type: data.Int64},
+		data.Column{Name: "ps_qty", Type: data.Float64},
+	))
+	for i := 0; i < nPart; i++ {
+		for j := 0; j < fanout; j++ {
+			if err := ps.AppendRow(data.IntValue(int64(i)), data.FloatValue(rng.Float64()*100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cat := data.NewCatalog()
+	for _, tb := range []*data.Table{part, ps} {
+		if err := cat.Register(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev, err := NewEvaluator(cat, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := exec.New(cat)
+
+	q := &relq.Query{
+		Tables: []string{"part", "partsupp"},
+		Fixed: []relq.FixedPred{
+			{Kind: relq.FixedEquiJoin,
+				Left:  relq.ColumnRef{Table: "part", Column: "p_partkey"},
+				Right: relq.ColumnRef{Table: "partsupp", Column: "ps_partkey"}},
+		},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "part", Column: "p_price"}, Bound: 40, Width: 100},
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "partsupp", Column: "ps_qty"}, Bound: 60, Width: 100},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	for _, scores := range [][]float64{{0, 0}, {20, 10}} {
+		region := relq.PrefixRegion(scores)
+		est, err := ev.Aggregate(q, region)
+		if err != nil {
+			t.Fatalf("estimate: %v", err)
+		}
+		exact, err := eng.Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(float64(est.Count)-float64(exact.Count)) / float64(exact.Count)
+		if rel > 0.15 {
+			t.Errorf("scores %v: estimate %d vs exact %d (rel %v)", scores, est.Count, exact.Count, rel)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acquire/internal/data"
+)
+
+func buildTestTable(t *testing.T, rows [][2]float64) *data.Table {
+	t.Helper()
+	tbl := data.NewTable("pts", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "y", Type: data.Float64},
+	))
+	for _, r := range rows {
+		if err := tbl.AppendRow(data.FloatValue(r[0]), data.FloatValue(r[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestBuildValidation(t *testing.T) {
+	tbl := buildTestTable(t, [][2]float64{{0, 0}})
+	if _, err := Build(tbl, nil, 8); err == nil {
+		t.Error("no columns: expected error")
+	}
+	if _, err := Build(tbl, []string{"x"}, 0); err == nil {
+		t.Error("zero bins: expected error")
+	}
+	if _, err := Build(tbl, []string{"nope"}, 8); err == nil {
+		t.Error("unknown column: expected error")
+	}
+	if _, err := Build(tbl, []string{"x", "x", "x", "x"}, 1<<8); err == nil {
+		t.Error("oversized grid: expected error")
+	}
+}
+
+func TestAnyInBoxBasics(t *testing.T) {
+	tbl := buildTestTable(t, [][2]float64{
+		{0, 0}, {10, 10}, {100, 100},
+	})
+	g, err := Build(tbl, []string{"x", "y"}, 10)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.Table() != "pts" || len(g.Columns()) != 2 {
+		t.Errorf("metadata: %s %v", g.Table(), g.Columns())
+	}
+
+	// A box containing (10,10) must report occupied.
+	got, err := g.AnyInBox([]Interval{{5, 15}, {5, 15}})
+	if err != nil || !got {
+		t.Errorf("box around (10,10): %v, %v", got, err)
+	}
+	// A box far outside the domain must be empty.
+	got, err = g.AnyInBox([]Interval{{200, 300}, {200, 300}})
+	if err != nil || got {
+		t.Errorf("out-of-domain box: %v, %v", got, err)
+	}
+	// An inverted interval is empty.
+	got, err = g.AnyInBox([]Interval{{15, 5}, {0, 100}})
+	if err != nil || got {
+		t.Errorf("inverted box: %v, %v", got, err)
+	}
+	// Unbounded box covers everything.
+	got, err = g.AnyInBox([]Interval{{math.Inf(-1), math.Inf(1)}, {math.Inf(-1), math.Inf(1)}})
+	if err != nil || !got {
+		t.Errorf("unbounded box: %v, %v", got, err)
+	}
+	// Dimension mismatch errors.
+	if _, err := g.AnyInBox([]Interval{{0, 1}}); err == nil {
+		t.Error("dim mismatch: expected error")
+	}
+}
+
+func TestDegenerateDomain(t *testing.T) {
+	tbl := buildTestTable(t, [][2]float64{{5, 1}, {5, 2}, {5, 3}})
+	g, err := Build(tbl, []string{"x", "y"}, 4)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	got, err := g.AnyInBox([]Interval{{5, 5}, {0, 10}})
+	if err != nil || !got {
+		t.Errorf("degenerate hit: %v, %v", got, err)
+	}
+	got, err = g.AnyInBox([]Interval{{6, 7}, {0, 10}})
+	if err != nil || got {
+		t.Errorf("degenerate miss: %v, %v", got, err)
+	}
+}
+
+// Soundness property (§7.4): AnyInBox == false implies no tuple lies in
+// the box. False positives are allowed; false negatives are not.
+func TestNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var rows [][2]float64
+	for i := 0; i < 500; i++ {
+		rows = append(rows, [2]float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	tbl := buildTestTable(t, rows)
+	g, err := Build(tbl, []string{"x", "y"}, 16)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		x0, y0 := rng.Float64()*1100-50, rng.Float64()*1100-50
+		box := []Interval{{x0, x0 + rng.Float64()*200}, {y0, y0 + rng.Float64()*200}}
+		any, err := g.AnyInBox(box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		holds := false
+		for _, r := range rows {
+			if r[0] >= box[0].Lo && r[0] <= box[0].Hi && r[1] >= box[1].Lo && r[1] <= box[1].Hi {
+				holds = true
+				break
+			}
+		}
+		if holds && !any {
+			t.Fatalf("false negative: box %v contains a tuple but index says empty", box)
+		}
+	}
+}
+
+func TestOccupiedCells(t *testing.T) {
+	tbl := buildTestTable(t, [][2]float64{{0, 0}, {0, 0}, {999, 999}})
+	g, err := Build(tbl, []string{"x", "y"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.OccupiedCells(); got != 2 {
+		t.Errorf("OccupiedCells = %d, want 2", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Package norms implements the query refinement scoring of §2.3: the
+// QScore of a refined query is a monotonic function of its predicate
+// refinement vector (PScore, Eq. 2). The paper's default is the L1
+// norm (Eq. 3); weighted vector p-norms express refinement preferences
+// (§7.1), L∞ scores a query by its worst-refined predicate, and any
+// user-supplied monotonic function plugs in without algorithm changes.
+package norms
+
+import (
+	"fmt"
+	"math"
+)
+
+// Norm maps a predicate refinement vector to a scalar QScore. It must
+// be monotone: growing any component must not shrink the result — the
+// Expand phase's layer ordering (Theorem 2) depends on it.
+type Norm interface {
+	// Score computes QScore(Q, Q') from the PScore vector.
+	Score(pscore []float64) float64
+	// Name identifies the norm in reports.
+	Name() string
+	// Infinite reports whether this is an L∞-style norm, which needs
+	// Algorithm 2's layer enumeration instead of BFS (§4).
+	Infinite() bool
+}
+
+// L1 is the paper's default: the sum of predicate refinement scores.
+type L1 struct{}
+
+// Score implements Norm.
+func (L1) Score(pscore []float64) float64 {
+	s := 0.0
+	for _, v := range pscore {
+		s += v
+	}
+	return s
+}
+
+// Name implements Norm.
+func (L1) Name() string { return "L1" }
+
+// Infinite implements Norm.
+func (L1) Infinite() bool { return false }
+
+// Lp is the p-norm (sum v^p)^(1/p) with optional per-dimension weights.
+type Lp struct {
+	P float64
+	// Weights is optional; nil or zero entries mean weight 1.
+	Weights []float64
+}
+
+// NewLp validates and builds an Lp norm.
+func NewLp(p float64, weights []float64) (Lp, error) {
+	if p < 1 {
+		return Lp{}, fmt.Errorf("norms: p must be >= 1, got %v", p)
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return Lp{}, fmt.Errorf("norms: weight %d is negative", i)
+		}
+	}
+	return Lp{P: p, Weights: weights}, nil
+}
+
+func (n Lp) weight(i int) float64 {
+	if i >= len(n.Weights) || n.Weights[i] == 0 {
+		return 1
+	}
+	return n.Weights[i]
+}
+
+// Score implements Norm.
+func (n Lp) Score(pscore []float64) float64 {
+	p := n.P
+	if p == 0 {
+		p = 1
+	}
+	s := 0.0
+	for i, v := range pscore {
+		s += n.weight(i) * math.Pow(v, p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+// Name implements Norm.
+func (n Lp) Name() string {
+	if len(n.Weights) > 0 {
+		return fmt.Sprintf("LW%g", n.P)
+	}
+	return fmt.Sprintf("L%g", n.P)
+}
+
+// Infinite implements Norm.
+func (Lp) Infinite() bool { return false }
+
+// LInf scores a vector by its largest (weighted) component. Its
+// query-layers in the refined space are L-shaped (§4, Figure 3), so the
+// Expand phase enumerates them with Algorithm 2.
+type LInf struct {
+	Weights []float64
+}
+
+func (n LInf) weight(i int) float64 {
+	if i >= len(n.Weights) || n.Weights[i] == 0 {
+		return 1
+	}
+	return n.Weights[i]
+}
+
+// Score implements Norm.
+func (n LInf) Score(pscore []float64) float64 {
+	m := 0.0
+	for i, v := range pscore {
+		if w := n.weight(i) * v; w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Name implements Norm.
+func (LInf) Name() string { return "Linf" }
+
+// Infinite implements Norm.
+func (LInf) Infinite() bool { return true }
+
+// Custom wraps a user-supplied monotonic scoring function (§2.3 allows
+// overriding the metric "without changes to our algorithm").
+type Custom struct {
+	Fn    func([]float64) float64
+	Label string
+}
+
+// Score implements Norm.
+func (c Custom) Score(pscore []float64) float64 { return c.Fn(pscore) }
+
+// Name implements Norm.
+func (c Custom) Name() string {
+	if c.Label == "" {
+		return "custom"
+	}
+	return c.Label
+}
+
+// Infinite implements Norm.
+func (Custom) Infinite() bool { return false }
+
+// CheckMonotone probes the norm for monotonicity violations over the
+// given dimensionality: a defensive check applied to Custom norms at
+// search setup so a non-monotone function fails fast instead of
+// silently breaking Theorem 2's ordering guarantee.
+func CheckMonotone(n Norm, dims int, samples int, seed int64) error {
+	// Simple LCG so the package stays free of math/rand in library code.
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	base := make([]float64, dims)
+	bumped := make([]float64, dims)
+	for s := 0; s < samples; s++ {
+		for i := range base {
+			base[i] = next() * 100
+		}
+		copy(bumped, base)
+		i := int(next() * float64(dims))
+		if i >= dims {
+			i = dims - 1
+		}
+		bumped[i] += next() * 50
+		if n.Score(bumped) < n.Score(base)-1e-9 {
+			return fmt.Errorf("norms: %s is not monotone: score(%v)=%v < score(%v)=%v",
+				n.Name(), bumped, n.Score(bumped), base, n.Score(base))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package norms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestL1(t *testing.T) {
+	n := L1{}
+	if got := n.Score([]float64{0, 20}); got != 20 {
+		t.Errorf("L1 = %v, want 20 (Example 3)", got)
+	}
+	if got := n.Score(nil); got != 0 {
+		t.Errorf("L1(nil) = %v", got)
+	}
+	if n.Name() != "L1" || n.Infinite() {
+		t.Error("L1 metadata")
+	}
+}
+
+func TestLp(t *testing.T) {
+	n, err := NewLp(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Score([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("L2(3,4) = %v, want 5", got)
+	}
+	if n.Name() != "L2" {
+		t.Errorf("Name = %q", n.Name())
+	}
+	if _, err := NewLp(0.5, nil); err == nil {
+		t.Error("p < 1: expected error")
+	}
+	if _, err := NewLp(2, []float64{-1}); err == nil {
+		t.Error("negative weight: expected error")
+	}
+}
+
+func TestWeightedLp(t *testing.T) {
+	n, err := NewLp(1, []float64{2, 0}) // weight 0 means 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Score([]float64{10, 10}); got != 30 {
+		t.Errorf("LW1 = %v, want 30", got)
+	}
+	if n.Name() != "LW1" {
+		t.Errorf("Name = %q", n.Name())
+	}
+}
+
+func TestLInf(t *testing.T) {
+	n := LInf{}
+	if got := n.Score([]float64{3, 9, 1}); got != 9 {
+		t.Errorf("Linf = %v, want 9", got)
+	}
+	if !n.Infinite() {
+		t.Error("Linf.Infinite() = false")
+	}
+	w := LInf{Weights: []float64{1, 3}}
+	if got := w.Score([]float64{10, 5}); got != 15 {
+		t.Errorf("weighted Linf = %v, want 15", got)
+	}
+}
+
+func TestCustom(t *testing.T) {
+	c := Custom{Fn: func(v []float64) float64 { return v[0] }}
+	if got := c.Score([]float64{7, 100}); got != 7 {
+		t.Errorf("custom = %v", got)
+	}
+	if c.Name() != "custom" {
+		t.Errorf("default Name = %q", c.Name())
+	}
+	c.Label = "first"
+	if c.Name() != "first" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.Infinite() {
+		t.Error("custom Infinite")
+	}
+}
+
+// Property: all built-in norms are monotone (Theorem 2's requirement).
+func TestBuiltinsMonotoneProperty(t *testing.T) {
+	l2, _ := NewLp(2, nil)
+	lw, _ := NewLp(1, []float64{1, 5, 0.5})
+	for _, n := range []Norm{L1{}, l2, lw, LInf{}, LInf{Weights: []float64{2, 1, 1}}} {
+		f := func(a, b, c float64, dim uint, bump float64) bool {
+			v := []float64{math.Abs(a), math.Abs(b), math.Abs(c)}
+			for i := range v {
+				v[i] = math.Mod(v[i], 1000)
+			}
+			w := append([]float64(nil), v...)
+			w[dim%3] += math.Mod(math.Abs(bump), 1000)
+			return n.Score(w) >= n.Score(v)-1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", n.Name(), err)
+		}
+	}
+}
+
+func TestCheckMonotone(t *testing.T) {
+	if err := CheckMonotone(L1{}, 3, 500, 1); err != nil {
+		t.Errorf("L1 flagged non-monotone: %v", err)
+	}
+	bad := Custom{Fn: func(v []float64) float64 { return -v[0] }, Label: "neg"}
+	if err := CheckMonotone(bad, 2, 500, 1); err == nil {
+		t.Error("negating norm should be flagged")
+	}
+}

@@ -1,0 +1,183 @@
+// Package ontology implements the categorical-predicate extension of
+// §7.3: refinement distance between categorical values is measured on a
+// taxonomy tree, where rolling up to an ancestor relaxes the predicate
+// and drilling down contracts it. The adapter materialises a numeric
+// distance column so a categorical predicate becomes an ordinary
+// SelectLE dimension over tree distance — plugging into ACQUIRE with no
+// algorithm changes, exactly as the paper claims.
+package ontology
+
+import (
+	"fmt"
+	"strings"
+
+	"acquire/internal/data"
+	"acquire/internal/relq"
+)
+
+// Tree is a taxonomy over categorical values. Leaves (and interior
+// nodes) are addressed by name; names are unique within a tree.
+type Tree struct {
+	root  *node
+	nodes map[string]*node
+}
+
+type node struct {
+	name     string
+	parent   *node
+	depth    int
+	children []*node
+}
+
+// NewTree creates a taxonomy with the given root label.
+func NewTree(root string) *Tree {
+	r := &node{name: root}
+	return &Tree{root: r, nodes: map[string]*node{key(root): r}}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Add inserts a value under the given parent.
+func (t *Tree) Add(parent, name string) error {
+	p, ok := t.nodes[key(parent)]
+	if !ok {
+		return fmt.Errorf("ontology: unknown parent %q", parent)
+	}
+	if _, dup := t.nodes[key(name)]; dup {
+		return fmt.Errorf("ontology: duplicate node %q", name)
+	}
+	n := &node{name: name, parent: p, depth: p.depth + 1}
+	p.children = append(p.children, n)
+	t.nodes[key(name)] = n
+	return nil
+}
+
+// MustAdd is Add that panics; for statically known taxonomies.
+func (t *Tree) MustAdd(parent, name string) {
+	if err := t.Add(parent, name); err != nil {
+		panic(err)
+	}
+}
+
+// Contains reports whether the tree knows the value.
+func (t *Tree) Contains(name string) bool {
+	_, ok := t.nodes[key(name)]
+	return ok
+}
+
+// Depth returns a node's depth (root = 0).
+func (t *Tree) Depth(name string) (int, error) {
+	n, ok := t.nodes[key(name)]
+	if !ok {
+		return 0, fmt.Errorf("ontology: unknown node %q", name)
+	}
+	return n.depth, nil
+}
+
+// Distance is the §7.3 refinement distance between two values: the
+// number of roll-up steps from each value to their lowest common
+// ancestor, summed. Rolling the predicate up one level costs one unit;
+// two siblings are distance 2 apart; a value matched exactly is 0.
+func (t *Tree) Distance(a, b string) (float64, error) {
+	if _, ok := t.nodes[key(a)]; !ok {
+		return 0, fmt.Errorf("ontology: unknown node %q", a)
+	}
+	if _, ok := t.nodes[key(b)]; !ok {
+		return 0, fmt.Errorf("ontology: unknown node %q", b)
+	}
+	return t.exactDistance(a, b), nil
+}
+
+func (t *Tree) exactDistance(a, b string) float64 {
+	na, nb := t.nodes[key(a)], t.nodes[key(b)]
+	// Collect ancestors of a.
+	anc := map[*node]int{}
+	steps := 0
+	for n := na; n != nil; n = n.parent {
+		anc[n] = steps
+		steps++
+	}
+	steps = 0
+	for n := nb; n != nil; n = n.parent {
+		if up, ok := anc[n]; ok {
+			return float64(up + steps)
+		}
+		steps++
+	}
+	return float64(na.depth + nb.depth) // disjoint roots: defensive
+}
+
+// DistanceToSet is the minimum distance from value to any member of
+// the target set — the violation of a tuple against an IN-predicate.
+func (t *Tree) DistanceToSet(value string, set []string) (float64, error) {
+	if len(set) == 0 {
+		return 0, fmt.Errorf("ontology: empty target set")
+	}
+	best := -1.0
+	for _, s := range set {
+		d, err := t.Distance(value, s)
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// BindColumn materialises the distance of every row's categorical value
+// to the target set as a new numeric column "<col>__dist" on a copy of
+// the table, and returns the refinable dimension over it. The rewritten
+// query replaces the FixedStringIn predicate with this dimension:
+// refinement score u admits values within u roll-up units of the
+// target set (Width 100 per the degenerate-interval convention, §2.3).
+func BindColumn(t *Tree, tbl *data.Table, column string, target []string) (*data.Table, relq.Dimension, error) {
+	ord := tbl.Schema().Ordinal(column)
+	if ord < 0 {
+		return nil, relq.Dimension{}, fmt.Errorf("ontology: table %s has no column %q", tbl.Name(), column)
+	}
+	vals, ok := tbl.Strings(ord)
+	if !ok {
+		return nil, relq.Dimension{}, fmt.Errorf("ontology: column %s is not TEXT", column)
+	}
+	for _, s := range target {
+		if !t.Contains(s) {
+			return nil, relq.Dimension{}, fmt.Errorf("ontology: target %q not in taxonomy", s)
+		}
+	}
+
+	distCol := column + "__dist"
+	cols := append([]data.Column(nil), tbl.Schema().Columns...)
+	cols = append(cols, data.Column{Name: distCol, Type: data.Float64})
+	schema, err := data.NewSchema(cols...)
+	if err != nil {
+		return nil, relq.Dimension{}, err
+	}
+	out := data.NewTable(tbl.Name(), schema)
+	row := make([]data.Value, len(cols))
+	for r := 0; r < tbl.NumRows(); r++ {
+		for c := range tbl.Schema().Columns {
+			row[c] = tbl.ValueAt(r, c)
+		}
+		d, err := t.DistanceToSet(vals[r], target)
+		if err != nil {
+			// Unknown value: treat as maximally distant rather than
+			// failing the whole rewrite.
+			d = float64(2 * len(t.nodes))
+		}
+		row[len(cols)-1] = data.FloatValue(d)
+		if err := out.AppendRow(row...); err != nil {
+			return nil, relq.Dimension{}, err
+		}
+	}
+
+	dim := relq.Dimension{
+		Kind:  relq.SelectLE,
+		Col:   relq.ColumnRef{Table: tbl.Name(), Column: distCol},
+		Bound: 0,   // distance 0 = exact match with the target set
+		Width: 100, // degenerate interval convention
+		Name:  column + " ontology distance",
+	}
+	return out, dim, nil
+}

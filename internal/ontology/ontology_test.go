@@ -1,0 +1,155 @@
+package ontology
+
+import (
+	"testing"
+
+	"acquire/internal/data"
+	"acquire/internal/relq"
+)
+
+// foodTree builds Figure 7(b)'s taxonomy: restaurants → cuisines →
+// dishes.
+func foodTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := NewTree("Restaurants")
+	tr.MustAdd("Restaurants", "Mediterranean")
+	tr.MustAdd("Restaurants", "MiddleEastern")
+	tr.MustAdd("Mediterranean", "Greek")
+	tr.MustAdd("Mediterranean", "Italian")
+	tr.MustAdd("Greek", "Gyro")
+	tr.MustAdd("Greek", "Falafel")
+	tr.MustAdd("MiddleEastern", "Shawarma")
+	return tr
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr := foodTree(t)
+	if !tr.Contains("gyro") { // case-insensitive
+		t.Error("Contains(gyro) = false")
+	}
+	if tr.Contains("Sushi") {
+		t.Error("Contains(Sushi) = true")
+	}
+	d, err := tr.Depth("Gyro")
+	if err != nil || d != 3 {
+		t.Errorf("Depth(Gyro) = %d, %v", d, err)
+	}
+	if err := tr.Add("NoSuch", "x"); err == nil {
+		t.Error("Add under unknown parent: expected error")
+	}
+	if err := tr.Add("Greek", "Gyro"); err == nil {
+		t.Error("duplicate Add: expected error")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	tr := foodTree(t)
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"Gyro", "Gyro", 0},
+		{"Gyro", "Greek", 1},    // one roll-up (§7.3: relaxation)
+		{"Gyro", "Falafel", 2},  // siblings
+		{"Gyro", "Italian", 3},  // up 2, down 1
+		{"Gyro", "Shawarma", 5}, // up 3, down 2
+		{"Greek", "Italian", 2},
+		{"Restaurants", "Gyro", 3},
+	}
+	for _, c := range cases {
+		got, err := tr.Distance(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Distance(%s, %s) = %v, %v; want %v", c.a, c.b, got, err, c.want)
+		}
+		// Symmetry.
+		rev, err := tr.Distance(c.b, c.a)
+		if err != nil || rev != c.want {
+			t.Errorf("Distance(%s, %s) = %v (asymmetric)", c.b, c.a, rev)
+		}
+	}
+	if _, err := tr.Distance("Gyro", "Sushi"); err == nil {
+		t.Error("unknown node: expected error")
+	}
+	if _, err := tr.Distance("Sushi", "Gyro"); err == nil {
+		t.Error("unknown node: expected error")
+	}
+}
+
+func TestDistanceToSet(t *testing.T) {
+	tr := foodTree(t)
+	d, err := tr.DistanceToSet("Shawarma", []string{"Gyro", "Falafel", "MiddleEastern"})
+	if err != nil || d != 1 {
+		t.Errorf("DistanceToSet = %v, %v; want 1", d, err)
+	}
+	if _, err := tr.DistanceToSet("Gyro", nil); err == nil {
+		t.Error("empty set: expected error")
+	}
+}
+
+func TestBindColumn(t *testing.T) {
+	tr := foodTree(t)
+	tbl := data.NewTable("places", data.MustSchema(
+		data.Column{Name: "id", Type: data.Int64},
+		data.Column{Name: "cuisine", Type: data.String},
+	))
+	for i, c := range []string{"Gyro", "Falafel", "Italian", "Shawarma"} {
+		if err := tbl.AppendRow(data.IntValue(int64(i)), data.StringValue(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, dim, err := BindColumn(tr, tbl, "cuisine", []string{"Gyro"})
+	if err != nil {
+		t.Fatalf("BindColumn: %v", err)
+	}
+	if dim.Kind != relq.SelectLE || dim.Bound != 0 || dim.Col.Column != "cuisine__dist" {
+		t.Errorf("dim = %+v", dim)
+	}
+	ord := out.Schema().Ordinal("cuisine__dist")
+	if ord < 0 {
+		t.Fatal("distance column missing")
+	}
+	want := []float64{0, 2, 3, 5}
+	for r, w := range want {
+		v, err := out.NumericAt(r, ord)
+		if err != nil || v != w {
+			t.Errorf("row %d dist = %v, %v; want %v", r, v, err, w)
+		}
+	}
+
+	// A grid query refined by score u admits values within u roll-ups.
+	if dim.Violation(2) != 2 {
+		t.Errorf("Violation(2) = %v", dim.Violation(2))
+	}
+
+	// Error paths.
+	if _, _, err := BindColumn(tr, tbl, "nope", []string{"Gyro"}); err == nil {
+		t.Error("unknown column: expected error")
+	}
+	if _, _, err := BindColumn(tr, tbl, "id", []string{"Gyro"}); err == nil {
+		t.Error("numeric column: expected error")
+	}
+	if _, _, err := BindColumn(tr, tbl, "cuisine", []string{"Sushi"}); err == nil {
+		t.Error("target outside taxonomy: expected error")
+	}
+}
+
+func TestBindColumnUnknownValueMaxDistance(t *testing.T) {
+	tr := foodTree(t)
+	tbl := data.NewTable("places", data.MustSchema(
+		data.Column{Name: "cuisine", Type: data.String},
+	))
+	if err := tbl.AppendRow(data.StringValue("Sushi")); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := BindColumn(tr, tbl, "cuisine", []string{"Gyro"})
+	if err != nil {
+		t.Fatalf("BindColumn: %v", err)
+	}
+	v, err := out.NumericAt(0, out.Schema().Ordinal("cuisine__dist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 5 {
+		t.Errorf("unknown value distance %v should exceed any in-tree distance", v)
+	}
+}

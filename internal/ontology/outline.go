@@ -1,0 +1,126 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseOutline reads a taxonomy from an indentation-based outline, one
+// node per line, children indented more deeply than their parent (any
+// consistent mix of spaces/tabs, tabs counting as one level each):
+//
+//	Restaurants
+//	  Mediterranean
+//	    Greek
+//	      Gyro
+//	      Falafel
+//	    Italian
+//	  MiddleEastern
+//	    Shawarma
+//
+// Blank lines and lines starting with '#' are ignored. The first node
+// is the root and must be the only node at its depth.
+func ParseOutline(r io.Reader) (*Tree, error) {
+	type frame struct {
+		indent int
+		name   string
+	}
+	var tree *Tree
+	var stack []frame
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		trimmed := strings.TrimLeft(raw, " \t")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := indentWidth(raw[:len(raw)-len(trimmed)])
+		name := strings.TrimSpace(trimmed)
+
+		if tree == nil {
+			if indent != 0 {
+				return nil, fmt.Errorf("ontology: line %d: root %q must not be indented", lineNo, name)
+			}
+			tree = NewTree(name)
+			stack = []frame{{indent: 0, name: name}}
+			continue
+		}
+		// Pop to the nearest shallower frame: that's the parent.
+		for len(stack) > 0 && stack[len(stack)-1].indent >= indent {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return nil, fmt.Errorf("ontology: line %d: %q is a second root", lineNo, name)
+		}
+		if err := tree.Add(stack[len(stack)-1].name, name); err != nil {
+			return nil, fmt.Errorf("ontology: line %d: %w", lineNo, err)
+		}
+		stack = append(stack, frame{indent: indent, name: name})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if tree == nil {
+		return nil, fmt.Errorf("ontology: empty outline")
+	}
+	return tree, nil
+}
+
+func indentWidth(ws string) int {
+	w := 0
+	for _, c := range ws {
+		if c == '\t' {
+			w += 4
+		} else {
+			w++
+		}
+	}
+	return w
+}
+
+// WriteOutline renders the tree back into the outline format (two
+// spaces per level, children in insertion order). ParseOutline and
+// WriteOutline round-trip.
+func (t *Tree) WriteOutline(w io.Writer) error {
+	var rec func(n *node, depth int) error
+	rec = func(n *node, depth int) error {
+		if _, err := fmt.Fprintf(w, "%s%s\n", strings.Repeat("  ", depth), n.name); err != nil {
+			return err
+		}
+		for _, c := range n.children {
+			if err := rec(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(t.root, 0)
+}
+
+// Nodes returns all node names in the tree, sorted.
+func (t *Tree) Nodes() []string {
+	out := make([]string, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		out = append(out, n.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Leaves returns the names of all leaf nodes, sorted.
+func (t *Tree) Leaves() []string {
+	var out []string
+	for _, n := range t.nodes {
+		if len(n.children) == 0 {
+			out = append(out, n.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

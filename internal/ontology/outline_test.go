@@ -1,0 +1,103 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+const foodOutline = `# Figure 7(b)
+Restaurants
+  Mediterranean
+    Greek
+      Gyro
+      Falafel
+    Italian
+  MiddleEastern
+    Shawarma
+`
+
+func TestParseOutline(t *testing.T) {
+	tr, err := ParseOutline(strings.NewReader(foodOutline))
+	if err != nil {
+		t.Fatalf("ParseOutline: %v", err)
+	}
+	d, err := tr.Distance("Gyro", "Shawarma")
+	if err != nil || d != 5 {
+		t.Errorf("Distance(Gyro, Shawarma) = %v, %v; want 5", d, err)
+	}
+	if got := len(tr.Nodes()); got != 8 {
+		t.Errorf("Nodes = %d, want 8", got)
+	}
+	leaves := tr.Leaves()
+	want := []string{"Falafel", "Gyro", "Italian", "Shawarma"}
+	if len(leaves) != len(want) {
+		t.Fatalf("Leaves = %v", leaves)
+	}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Errorf("Leaves[%d] = %q, want %q", i, leaves[i], want[i])
+		}
+	}
+}
+
+func TestParseOutlineTabsAndComments(t *testing.T) {
+	in := "# taxonomy\nroot\n\tkid\n\t\tgrandkid\n\n\tkid2\n"
+	tr, err := ParseOutline(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseOutline: %v", err)
+	}
+	d, err := tr.Distance("grandkid", "kid2")
+	if err != nil || d != 3 {
+		t.Errorf("distance = %v, %v; want 3", d, err)
+	}
+}
+
+func TestParseOutlineErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"comments only", "# nothing\n\n"},
+		{"indented root", "  root\n"},
+		{"second root", "a\nb\n"},
+		{"duplicate node", "a\n  b\n  b\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseOutline(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestOutlineRoundTrip(t *testing.T) {
+	tr, err := ParseOutline(strings.NewReader(foodOutline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteOutline(&sb); err != nil {
+		t.Fatalf("WriteOutline: %v", err)
+	}
+	tr2, err := ParseOutline(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	n1, n2 := tr.Nodes(), tr2.Nodes()
+	if len(n1) != len(n2) {
+		t.Fatalf("node sets differ: %v vs %v", n1, n2)
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Errorf("node %d: %q vs %q", i, n1[i], n2[i])
+		}
+	}
+	// Distances preserved.
+	for _, pair := range [][2]string{{"Gyro", "Italian"}, {"Greek", "Shawarma"}} {
+		d1, err1 := tr.Distance(pair[0], pair[1])
+		d2, err2 := tr2.Distance(pair[0], pair[1])
+		if err1 != nil || err2 != nil || d1 != d2 {
+			t.Errorf("distance %v: %v/%v vs %v/%v", pair, d1, err1, d2, err2)
+		}
+	}
+}

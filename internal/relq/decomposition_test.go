@@ -1,0 +1,147 @@
+package relq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests verify the region-algebra identities behind §5's
+// incremental aggregate computation, independent of any data or
+// engine: the recurrences hold as exact set identities over violation
+// space, so OSP merging of the corresponding aggregates is exact.
+
+// containsIn reports how many regions of rs contain v.
+func containsIn(rs []Region, v []float64) int {
+	n := 0
+	for _, r := range rs {
+		if r.Contains(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// sampleAround yields violation vectors probing all boundary cases of
+// a grid point's neighbourhood: bucket edges, interiors and the 0 face.
+func sampleAround(u []int, step float64, rng *rand.Rand) [][]float64 {
+	var out [][]float64
+	// Deterministic probes per dimension: 0, each bucket edge below
+	// u+1, and interiors.
+	probes := make([][]float64, len(u))
+	for i, ui := range u {
+		var ps []float64
+		for b := 0; b <= ui+1; b++ {
+			ps = append(ps, float64(b)*step)        // edge (inclusive upper)
+			ps = append(ps, float64(b)*step+step/3) // interior
+		}
+		ps = append(ps, 0)
+		probes[i] = ps
+	}
+	// Random combinations (full cross product is too large for d=4).
+	for trial := 0; trial < 500; trial++ {
+		v := make([]float64, len(u))
+		for i := range v {
+			v[i] = probes[i][rng.Intn(len(probes[i]))]
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Eq. 17 as a set identity: O_i(u) = O_{i-1}(u) ⊎ O_i(u − e_{i-1}),
+// disjointly, for all i = 2..d+1 (1-indexed as in the paper).
+func TestRecurrenceRegionIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		d := 1 + rng.Intn(4)
+		step := 1 + rng.Float64()*7
+		u := make([]int, d)
+		for i := range u {
+			u[i] = rng.Intn(4)
+		}
+		for i := 2; i <= d+1; i++ {
+			whole := SubQueryRegion(u, i, step)
+			partA := SubQueryRegion(u, i-1, step)
+			var parts []Region
+			parts = append(parts, partA)
+			if u[i-2] > 0 { // e_{i-1} decrements dimension i-1 (1-indexed)
+				prev := append([]int(nil), u...)
+				prev[i-2]--
+				parts = append(parts, SubQueryRegion(prev, i, step))
+			}
+			for _, v := range sampleAround(u, step, rng) {
+				want := 0
+				if whole.Contains(v) {
+					want = 1
+				}
+				if got := containsIn(parts, v); got != want {
+					t.Fatalf("trial %d d=%d i=%d u=%v: point %v in %d parts, want %d",
+						trial, d, i, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Eq. 11 as a set identity: the whole query at u is the disjoint union
+// of the d+1 sub-queries at the decomposition points.
+func TestDecompositionPartitionGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		d := 1 + rng.Intn(4)
+		step := 1 + rng.Float64()*7
+		u := make([]int, d)
+		for i := range u {
+			u[i] = 1 + rng.Intn(3)
+		}
+		whole := SubQueryRegion(u, d+1, step)
+		// Eq. 11: O_{d+1}(u) = O_1(u) + O_2(u−e_1) + O_3(u−e_2) + ...
+		// + O_{d+1}(u−e_d).
+		var parts []Region
+		parts = append(parts, SubQueryRegion(u, 1, step))
+		for j := 2; j <= d+1; j++ {
+			prev := append([]int(nil), u...)
+			if prev[j-2] == 0 {
+				continue // empty part
+			}
+			prev[j-2]--
+			parts = append(parts, SubQueryRegion(prev, j, step))
+		}
+		for _, v := range sampleAround(u, step, rng) {
+			want := 0
+			if whole.Contains(v) {
+				want = 1
+			}
+			if got := containsIn(parts, v); got != want {
+				t.Fatalf("trial %d d=%d u=%v: point %v in %d parts, want %d",
+					trial, d, u, v, got, want)
+			}
+		}
+	}
+}
+
+// Cells partition every prefix: each violation vector inside the
+// prefix region at u belongs to exactly one cell with coordinates
+// <= u (componentwise).
+func TestCellsPartitionPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	step := 4.0
+	u := []int{2, 3}
+	prefix := PrefixRegion([]float64{float64(u[0]) * step, float64(u[1]) * step})
+
+	var cells []Region
+	for a := 0; a <= u[0]; a++ {
+		for b := 0; b <= u[1]; b++ {
+			cells = append(cells, CellRegion([]int{a, b}, step))
+		}
+	}
+	for _, v := range sampleAround(u, step, rng) {
+		want := 0
+		if prefix.Contains(v) {
+			want = 1
+		}
+		if got := containsIn(cells, v); got != want {
+			t.Fatalf("point %v in %d cells, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package relq
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func dimLE(table, col string, bound, width float64) Dimension {
+	return Dimension{Kind: SelectLE, Col: ColumnRef{table, col}, Bound: bound, Width: width}
+}
+
+func dimGE(table, col string, bound, width float64) Dimension {
+	return Dimension{Kind: SelectGE, Col: ColumnRef{table, col}, Bound: bound, Width: width}
+}
+
+func TestDimensionViolationLE(t *testing.T) {
+	d := dimLE("t", "x", 50, 50) // x <= 50, domain width 50
+	cases := []struct {
+		v    float64
+		want float64
+	}{
+		{0, 0}, {50, 0}, {-10, 0}, {60, 20}, {75, 50}, {100, 100},
+	}
+	for _, c := range cases {
+		if got := d.Violation(c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Violation(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDimensionViolationGE(t *testing.T) {
+	d := dimGE("t", "x", 100, 200) // x >= 100, width 200
+	cases := []struct {
+		v    float64
+		want float64
+	}{
+		{100, 0}, {300, 0}, {80, 10}, {0, 50},
+	}
+	for _, c := range cases {
+		if got := d.Violation(c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Violation(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDimensionViolationEQ(t *testing.T) {
+	d := Dimension{Kind: SelectEQ, Col: ColumnRef{"t", "x"}, Bound: 10, Width: 100}
+	// §2.3: denominator 100 means one unit of band = one score unit.
+	if got := d.Violation(10); got != 0 {
+		t.Errorf("Violation(10) = %v", got)
+	}
+	if got := d.Violation(13); got != 3 {
+		t.Errorf("Violation(13) = %v, want 3", got)
+	}
+	if got := d.Violation(7); got != 3 {
+		t.Errorf("Violation(7) = %v, want 3", got)
+	}
+}
+
+func TestJoinViolation(t *testing.T) {
+	d := Dimension{Kind: JoinBand, Left: ColumnRef{"a", "x"}, Right: ColumnRef{"b", "x"}, Width: 100}
+	if got := d.JoinViolation(5, 5); got != 0 {
+		t.Errorf("equal keys: %v", got)
+	}
+	if got := d.JoinViolation(5, 12); got != 7 {
+		t.Errorf("|5-12| = %v, want 7", got)
+	}
+	// Non-equi: |2x - 3y| with base band 1.
+	d2 := Dimension{Kind: JoinBand, Left: ColumnRef{"a", "x"}, Right: ColumnRef{"b", "y"},
+		LCoef: 2, RCoef: 3, Base: 1, Width: 100}
+	if got := d2.JoinViolation(3, 2); got != 0 { // |6-6| = 0 <= 1
+		t.Errorf("non-equi inside band: %v", got)
+	}
+	if got := d2.JoinViolation(5, 2); got != 3 { // |10-6|-1 = 3
+		t.Errorf("non-equi outside band: %v, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Violation on join dim should panic")
+		}
+	}()
+	d.Violation(1)
+}
+
+func TestJoinViolationPanicsOnSelect(t *testing.T) {
+	d := dimLE("t", "x", 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("JoinViolation on select dim should panic")
+		}
+	}()
+	d.JoinViolation(1, 2)
+}
+
+func TestBoundAt(t *testing.T) {
+	le := dimLE("t", "x", 50, 50)
+	if got := le.BoundAt(20); got != 60 { // +20% of width 50
+		t.Errorf("LE BoundAt(20) = %v, want 60", got)
+	}
+	ge := dimGE("t", "x", 100, 200)
+	if got := ge.BoundAt(10); got != 80 {
+		t.Errorf("GE BoundAt(10) = %v, want 80", got)
+	}
+	eq := Dimension{Kind: SelectEQ, Col: ColumnRef{"t", "x"}, Bound: 10, Width: 100}
+	if got := eq.BoundAt(3); got != 3 {
+		t.Errorf("EQ BoundAt(3) = %v, want band 3", got)
+	}
+	jn := Dimension{Kind: JoinBand, Left: ColumnRef{"a", "x"}, Right: ColumnRef{"b", "x"}, Width: 100}
+	if got := jn.BoundAt(7); got != 7 {
+		t.Errorf("Join BoundAt(7) = %v, want 7", got)
+	}
+}
+
+// Property: violation is exactly 0 iff the tuple satisfies the original
+// predicate, and BoundAt(Violation(v)) always re-admits v.
+func TestViolationBoundAtConsistency(t *testing.T) {
+	f := func(bound, width, v float64) bool {
+		width = math.Abs(width)
+		if width < 1e-6 || width > 1e9 || math.Abs(bound) > 1e9 || math.Abs(v) > 1e9 {
+			return true
+		}
+		d := dimLE("t", "x", bound, width)
+		viol := d.Violation(v)
+		if viol < 0 {
+			return false
+		}
+		if (v <= bound) != (viol == 0) {
+			return false
+		}
+		// Refining by the violation must re-admit the tuple.
+		return v <= d.BoundAt(viol)+1e-9*math.Max(1, math.Abs(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDimensionValidate(t *testing.T) {
+	bad := []Dimension{
+		{Kind: SelectLE, Width: 1},                                       // missing column
+		{Kind: JoinBand, Width: 1},                                       // missing sides
+		{Kind: SelectLE, Col: ColumnRef{"t", "x"}, Width: 0},             // zero width
+		{Kind: DimKind(99), Width: 1},                                    // bad kind
+		{Kind: SelectLE, Col: ColumnRef{"t", "x"}, Width: 1, Weight: -1}, // negative weight
+		{Kind: SelectLE, Col: ColumnRef{"t", "x"}, Width: 1, MaxScore: -1},
+		{Kind: JoinBand, Left: ColumnRef{"a", "x"}, Right: ColumnRef{"b", "x"}, Base: -1, Width: 1},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("dimension %d: expected validation error", i)
+		}
+	}
+	good := dimLE("t", "x", 5, 10)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid dimension rejected: %v", err)
+	}
+}
+
+func TestFixedPredValidate(t *testing.T) {
+	bad := []FixedPred{
+		{Kind: FixedRange},
+		{Kind: FixedRange, Col: ColumnRef{"t", "x"}, Lo: 5, Hi: 1},
+		{Kind: FixedEquiJoin},
+		{Kind: FixedStringIn, Col: ColumnRef{"t", "x"}},
+		{Kind: FixedKind(99)},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("fixed %d: expected validation error", i)
+		}
+	}
+}
+
+func TestConstraintValidate(t *testing.T) {
+	bad := []Constraint{
+		{Func: AggSum, Op: CmpEQ, Target: 10},                // no attr
+		{Func: AggCount, Op: CmpOp(99), Target: 10},          // bad op
+		{Func: AggCount, Op: CmpEQ, Target: -1},              // negative target
+		{Func: AggUser, Op: CmpEQ, Target: 1},                // no UDA name
+		{Func: AggUser, UserName: "f", Op: CmpEQ, Target: 1}, // no attr
+		{Func: AggFunc(99), Op: CmpEQ, Target: 1},            // bad func
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("constraint %d: expected validation error", i)
+		}
+	}
+	ok := Constraint{Func: AggCount, Op: CmpEQ, Target: 100}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid COUNT(*) constraint rejected: %v", err)
+	}
+}
+
+func TestQueryValidateAndClone(t *testing.T) {
+	q := &Query{
+		Tables: []string{"part", "partsupp"},
+		Fixed: []FixedPred{
+			{Kind: FixedEquiJoin, Left: ColumnRef{"part", "p_partkey"}, Right: ColumnRef{"partsupp", "ps_partkey"}},
+			{Kind: FixedStringIn, Col: ColumnRef{"part", "p_type"}, Values: []string{"STEEL"}},
+		},
+		Dims: []Dimension{
+			dimLE("part", "p_retailprice", 1000, 1000),
+		},
+		Constraint: Constraint{Func: AggSum, Attr: ColumnRef{"partsupp", "ps_availqty"}, Op: CmpGE, Target: 1e5},
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	dup := &Query{Tables: []string{"a", "A"}, Constraint: q.Constraint}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate tables: expected error")
+	}
+	empty := &Query{Constraint: q.Constraint}
+	if err := empty.Validate(); err == nil {
+		t.Error("no tables: expected error")
+	}
+
+	c := q.Clone()
+	c.Dims[0].Bound = 5
+	c.Fixed[1].Values[0] = "IRON"
+	c.Tables[0] = "x"
+	if q.Dims[0].Bound != 1000 || q.Fixed[1].Values[0] != "STEEL" || q.Tables[0] != "part" {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestRegionSemantics(t *testing.T) {
+	r := PrefixRegion([]float64{10, 20})
+	if !r.Contains([]float64{0, 0}) || !r.Contains([]float64{10, 20}) {
+		t.Error("prefix region should contain origin and corner")
+	}
+	if r.Contains([]float64{10.5, 0}) {
+		t.Error("prefix region should exclude beyond corner")
+	}
+
+	cell := CellRegion([]int{2, 0}, 5)
+	if !cell.Contains([]float64{7, 0}) {
+		t.Error("cell should contain (7, 0)")
+	}
+	if cell.Contains([]float64{5, 0}) {
+		t.Error("cell is half-open: violation 5 belongs to cell u=1")
+	}
+	if cell.Contains([]float64{7, 0.1}) {
+		t.Error("dimension at u=0 admits only violation 0")
+	}
+	if !cell.Contains([]float64{10, 0}) {
+		t.Error("upper edge inclusive")
+	}
+}
+
+func TestSubQueryRegion(t *testing.T) {
+	u := []int{3, 2}
+	step := 5.0
+	// O1 = cell: both dims unit slices.
+	o1 := SubQueryRegion(u, 1, step)
+	if o1[0].Lo != 10 || o1[0].Hi != 15 || o1[1].Lo != 5 || o1[1].Hi != 10 {
+		t.Errorf("O1 = %v", o1)
+	}
+	// O2 = pillar: dim 1 full prefix, dim 2 unit slice.
+	o2 := SubQueryRegion(u, 2, step)
+	if o2[0].Lo != -1 || o2[0].Hi != 15 || o2[1].Lo != 5 || o2[1].Hi != 10 {
+		t.Errorf("O2 = %v", o2)
+	}
+	// O3 = whole query.
+	o3 := SubQueryRegion(u, 3, step)
+	if o3[0].Lo != -1 || o3[0].Hi != 15 || o3[1].Lo != -1 || o3[1].Hi != 10 {
+		t.Errorf("O3 = %v", o3)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range sub-query index should panic")
+		}
+	}()
+	SubQueryRegion(u, 4, step)
+}
+
+// Property (§5.1.1): the d+1 sub-queries partition the prefix region —
+// every violation vector inside the prefix belongs to exactly one
+// sub-query, provided it is inside the "upper slab" of some dimension...
+// Precisely: O_{d+1} at u = union of O_j regions at the decomposition
+// points of Eq. 11. Validated here for d=2 over a grid of sample points.
+func TestDecompositionPartition2D(t *testing.T) {
+	u := []int{3, 2}
+	step := 5.0
+	whole := SubQueryRegion(u, 3, step) // O3 = entire query at u
+	// Eq. 9: O3(u1,u2) = O1(u1,u2) + O2(u1-1,u2) + O3(u1,u2-1).
+	parts := []Region{
+		SubQueryRegion([]int{3, 2}, 1, step),
+		SubQueryRegion([]int{2, 2}, 2, step),
+		SubQueryRegion([]int{3, 1}, 3, step),
+	}
+	for v1 := 0.0; v1 <= 16; v1 += 0.5 {
+		for v2 := 0.0; v2 <= 11; v2 += 0.5 {
+			v := []float64{v1, v2}
+			in := 0
+			for _, p := range parts {
+				if p.Contains(v) {
+					in++
+				}
+			}
+			want := 0
+			if whole.Contains(v) {
+				want = 1
+			}
+			if in != want {
+				t.Fatalf("point %v: in %d parts, want %d", v, in, want)
+			}
+		}
+	}
+}
+
+func TestScoresAlmostEqual(t *testing.T) {
+	if !ScoresAlmostEqual([]float64{1, 2}, []float64{1, 2 + 1e-12}) {
+		t.Error("tiny difference should compare equal")
+	}
+	if ScoresAlmostEqual([]float64{1}, []float64{1, 2}) {
+		t.Error("length mismatch")
+	}
+	if ScoresAlmostEqual([]float64{1}, []float64{2}) {
+		t.Error("different values")
+	}
+}
+
+func TestRegionEmptyAndString(t *testing.T) {
+	if PrefixRegion([]float64{1}).Empty() {
+		t.Error("prefix region not empty")
+	}
+	if !(Region{{Lo: 5, Hi: 5}}).Empty() {
+		t.Error("degenerate positive interval is empty")
+	}
+	s := Region{{Lo: -1, Hi: 3}, {Lo: 2, Hi: 4}}.String()
+	if !strings.Contains(s, "[0,3]") || !strings.Contains(s, "(2,4]") {
+		t.Errorf("String = %q", s)
+	}
+}

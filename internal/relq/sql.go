@@ -1,0 +1,154 @@
+package relq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RefinedQuery is a concrete refinement of a base query: the base plus
+// the per-dimension refinement scores (PScore vector, Eq. 2) and the
+// aggregate the refined query attains.
+type RefinedQuery struct {
+	Base *Query
+	// Scores is the predicate refinement vector in PScore percent units.
+	Scores []float64
+	// QScore is the refinement score under the norm the search used
+	// (Eq. 3).
+	QScore float64
+	// Aggregate is the actual aggregate value A_actual of the refined
+	// query.
+	Aggregate float64
+	// Err is the aggregate error Err_A (Eq. 4) w.r.t. the constraint
+	// target.
+	Err float64
+}
+
+// ToSQL renders the refined query in the paper's SQL dialect, with the
+// refined predicate bounds substituted.
+func (rq *RefinedQuery) ToSQL() string { return renderSQL(rq.Base, rq.Scores) }
+
+// ToSQL renders the original (unrefined) query, including the
+// CONSTRAINT clause and NOREFINE markers — the inverse of
+// sqlparse.Parse.
+func (q *Query) ToSQL() string { return renderSQL(q, nil) }
+
+func renderSQL(q *Query, scores []float64) string {
+	var b strings.Builder
+	b.WriteString("SELECT * FROM ")
+	b.WriteString(strings.Join(q.Tables, ", "))
+
+	// CONSTRAINT clause (only for the original query form).
+	if scores == nil {
+		c := q.Constraint
+		b.WriteString(" CONSTRAINT ")
+		if c.Func == AggUser {
+			b.WriteString(c.UserName)
+		} else {
+			b.WriteString(c.Func.String())
+		}
+		b.WriteString("(")
+		if c.Func == AggCount && c.Attr.Column == "" {
+			b.WriteString("*")
+		} else {
+			b.WriteString(c.Attr.String())
+		}
+		b.WriteString(") ")
+		b.WriteString(c.Op.String())
+		b.WriteString(" ")
+		b.WriteString(formatNum(c.Target))
+	}
+
+	var preds []string
+	for i := range q.Fixed {
+		preds = append(preds, renderFixed(&q.Fixed[i])+" NOREFINE")
+	}
+	for i := range q.Dims {
+		score := 0.0
+		if scores != nil {
+			score = scores[i]
+		}
+		preds = append(preds, renderDim(&q.Dims[i], score))
+	}
+	if len(preds) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(preds, " AND "))
+	}
+	return b.String()
+}
+
+func renderFixed(p *FixedPred) string {
+	switch p.Kind {
+	case FixedRange:
+		loInf, hiInf := math.IsInf(p.Lo, -1), math.IsInf(p.Hi, 1)
+		switch {
+		case loInf && hiInf:
+			return fmt.Sprintf("(%s IS NOT NULL)", p.Col)
+		case loInf:
+			return fmt.Sprintf("(%s <= %s)", p.Col, formatNum(p.Hi))
+		case hiInf:
+			return fmt.Sprintf("(%s >= %s)", p.Col, formatNum(p.Lo))
+		case p.Lo == p.Hi:
+			return fmt.Sprintf("(%s = %s)", p.Col, formatNum(p.Lo))
+		default:
+			return fmt.Sprintf("(%s BETWEEN %s AND %s)", p.Col, formatNum(p.Lo), formatNum(p.Hi))
+		}
+	case FixedEquiJoin:
+		l, r := joinSide(p.Left, p.LCoef), joinSide(p.Right, p.RCoef)
+		return fmt.Sprintf("(%s = %s)", l, r)
+	case FixedStringIn:
+		vals := append([]string(nil), p.Values...)
+		sort.Strings(vals)
+		quoted := make([]string, len(vals))
+		for i, v := range vals {
+			quoted[i] = "'" + strings.ReplaceAll(v, "'", "''") + "'"
+		}
+		if len(quoted) == 1 {
+			return fmt.Sprintf("(%s = %s)", p.Col, quoted[0])
+		}
+		return fmt.Sprintf("(%s IN (%s))", p.Col, strings.Join(quoted, ", "))
+	default:
+		return "(?)"
+	}
+}
+
+func renderDim(d *Dimension, score float64) string {
+	switch d.Kind {
+	case SelectLE:
+		return fmt.Sprintf("(%s <= %s)", d.Col, formatNum(d.BoundAt(score)))
+	case SelectGE:
+		return fmt.Sprintf("(%s >= %s)", d.Col, formatNum(d.BoundAt(score)))
+	case SelectEQ:
+		band := d.BoundAt(score)
+		if band == 0 {
+			return fmt.Sprintf("(%s = %s)", d.Col, formatNum(d.Bound))
+		}
+		return fmt.Sprintf("(%s BETWEEN %s AND %s)", d.Col,
+			formatNum(d.Bound-band), formatNum(d.Bound+band))
+	case JoinBand:
+		l, r := joinSide(d.Left, d.LCoef), joinSide(d.Right, d.RCoef)
+		band := d.BoundAt(score)
+		if band == 0 {
+			return fmt.Sprintf("(%s = %s)", l, r)
+		}
+		return fmt.Sprintf("(ABS(%s - %s) <= %s)", l, r, formatNum(band))
+	default:
+		return "(?)"
+	}
+}
+
+func joinSide(c ColumnRef, coef float64) string {
+	if coef == 0 || coef == 1 {
+		return c.String()
+	}
+	return formatNum(coef) + "*" + c.String()
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}

@@ -1,0 +1,118 @@
+package relq
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func tpchQuery() *Query {
+	return &Query{
+		Tables: []string{"supplier", "part", "partsupp"},
+		Fixed: []FixedPred{
+			{Kind: FixedEquiJoin, Left: ColumnRef{"supplier", "s_suppkey"}, Right: ColumnRef{"partsupp", "ps_suppkey"}},
+			{Kind: FixedEquiJoin, Left: ColumnRef{"part", "p_partkey"}, Right: ColumnRef{"partsupp", "ps_partkey"}},
+			{Kind: FixedRange, Col: ColumnRef{"part", "p_size"}, Lo: 10, Hi: 10},
+			{Kind: FixedStringIn, Col: ColumnRef{"part", "p_type"}, Values: []string{"SMALL BURNISHED STEEL"}},
+		},
+		Dims: []Dimension{
+			{Kind: SelectLE, Col: ColumnRef{"part", "p_retailprice"}, Bound: 1000, Width: 1000},
+			{Kind: SelectLE, Col: ColumnRef{"supplier", "s_acctbal"}, Bound: 2000, Width: 2000},
+		},
+		Constraint: Constraint{Func: AggSum, Attr: ColumnRef{"partsupp", "ps_availqty"}, Op: CmpGE, Target: 100000},
+	}
+}
+
+func TestQueryToSQL(t *testing.T) {
+	sql := tpchQuery().ToSQL()
+	for _, want := range []string{
+		"SELECT * FROM supplier, part, partsupp",
+		"CONSTRAINT SUM(partsupp.ps_availqty) >= 100000",
+		"(supplier.s_suppkey = partsupp.ps_suppkey) NOREFINE",
+		"(part.p_size = 10) NOREFINE",
+		"(part.p_type = 'SMALL BURNISHED STEEL') NOREFINE",
+		"(part.p_retailprice <= 1000)",
+		"(supplier.s_acctbal <= 2000)",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("ToSQL missing %q in:\n%s", want, sql)
+		}
+	}
+}
+
+func TestRefinedToSQL(t *testing.T) {
+	q := tpchQuery()
+	rq := &RefinedQuery{Base: q, Scores: []float64{10, 0}}
+	sql := rq.ToSQL()
+	if !strings.Contains(sql, "(part.p_retailprice <= 1100)") {
+		t.Errorf("expected refined bound 1100 in:\n%s", sql)
+	}
+	if !strings.Contains(sql, "(supplier.s_acctbal <= 2000)") {
+		t.Errorf("unrefined dimension should keep its bound:\n%s", sql)
+	}
+	if strings.Contains(sql, "CONSTRAINT") {
+		t.Errorf("refined query should not carry CONSTRAINT clause:\n%s", sql)
+	}
+}
+
+func TestRenderJoinAndEQDims(t *testing.T) {
+	q := &Query{
+		Tables: []string{"a", "b"},
+		Dims: []Dimension{
+			{Kind: JoinBand, Left: ColumnRef{"a", "x"}, Right: ColumnRef{"b", "x"}, Width: 100},
+			{Kind: SelectEQ, Col: ColumnRef{"a", "s"}, Bound: 10, Width: 100},
+		},
+		Constraint: Constraint{Func: AggCount, Op: CmpEQ, Target: 5},
+	}
+	// Unrefined: join renders as equality, EQ as equality.
+	sql := q.ToSQL()
+	if !strings.Contains(sql, "(a.x = b.x)") || !strings.Contains(sql, "(a.s = 10)") {
+		t.Errorf("unrefined render:\n%s", sql)
+	}
+	if !strings.Contains(sql, "COUNT(*)") {
+		t.Errorf("COUNT(*) render:\n%s", sql)
+	}
+	// Refined: band forms.
+	rq := &RefinedQuery{Base: q, Scores: []float64{4, 2}}
+	sql = rq.ToSQL()
+	if !strings.Contains(sql, "(ABS(a.x - b.x) <= 4)") {
+		t.Errorf("join band render:\n%s", sql)
+	}
+	if !strings.Contains(sql, "(a.s BETWEEN 8 AND 12)") {
+		t.Errorf("EQ band render:\n%s", sql)
+	}
+}
+
+func TestRenderNonEquiCoefficients(t *testing.T) {
+	q := &Query{
+		Tables: []string{"a", "b"},
+		Dims: []Dimension{
+			{Kind: JoinBand, Left: ColumnRef{"a", "x"}, Right: ColumnRef{"b", "y"}, LCoef: 2, RCoef: 3, Width: 100},
+		},
+		Constraint: Constraint{Func: AggCount, Op: CmpEQ, Target: 5},
+	}
+	sql := q.ToSQL()
+	if !strings.Contains(sql, "(2*a.x = 3*b.y)") {
+		t.Errorf("coefficient render:\n%s", sql)
+	}
+}
+
+func TestRenderFixedForms(t *testing.T) {
+	inf := func(sign int) float64 { return math.Inf(sign) }
+	cases := []struct {
+		pred FixedPred
+		want string
+	}{
+		{FixedPred{Kind: FixedRange, Col: ColumnRef{"t", "x"}, Lo: inf(-1), Hi: 5}, "(t.x <= 5)"},
+		{FixedPred{Kind: FixedRange, Col: ColumnRef{"t", "x"}, Lo: 5, Hi: inf(1)}, "(t.x >= 5)"},
+		{FixedPred{Kind: FixedRange, Col: ColumnRef{"t", "x"}, Lo: 1, Hi: 5}, "(t.x BETWEEN 1 AND 5)"},
+		{FixedPred{Kind: FixedStringIn, Col: ColumnRef{"t", "s"}, Values: []string{"b", "a"}}, "(t.s IN ('a', 'b'))"},
+		{FixedPred{Kind: FixedStringIn, Col: ColumnRef{"t", "s"}, Values: []string{"o'k"}}, "(t.s = 'o''k')"},
+	}
+	for _, c := range cases {
+		got := renderFixed(&c.pred)
+		if got != c.want {
+			t.Errorf("renderFixed = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package sqlparse
+
+// AST is the parsed form of an aggregation constrained query, before
+// name resolution and domain analysis.
+type AST struct {
+	Tables []string
+	Agg    AggClause
+	Preds  []PredAST
+}
+
+// AggClause is the CONSTRAINT clause.
+type AggClause struct {
+	FuncName string // COUNT, SUM, ... or a UDA name
+	Star     bool   // COUNT(*)
+	Col      ColAST
+	Op       string // = <= < >= >
+	Target   float64
+}
+
+// ColAST is a possibly qualified, possibly coefficient-scaled column
+// reference (the "2*a.x" of non-equi joins).
+type ColAST struct {
+	Coef   float64 // 0 means 1
+	Table  string  // empty for bare references
+	Column string
+}
+
+// Ref renders the reference for resolution ("tbl.col" or "col").
+func (c ColAST) Ref() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// predKind discriminates the parsed predicate shapes.
+type predKind uint8
+
+const (
+	// pkCmp is "term op term" where terms are columns or numbers.
+	pkCmp predKind = iota + 1
+	// pkRange is "lo op col op hi" or "col BETWEEN lo AND hi".
+	pkRange
+	// pkIn is "col IN ('a', 'b', ...)".
+	pkIn
+	// pkStrEq is "col = 'string'".
+	pkStrEq
+)
+
+// PredAST is one parsed WHERE conjunct with its NOREFINE flag.
+type PredAST struct {
+	kind     predKind
+	NoRefine bool
+
+	// pkCmp:
+	LCol, RCol *ColAST // nil when the side is a number
+	LNum, RNum float64
+	Op         string
+
+	// pkRange:
+	Col    ColAST
+	Lo, Hi float64
+
+	// pkIn / pkStrEq:
+	Strings []string
+}

@@ -1,0 +1,80 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that any statement it
+// accepts has internally consistent structure. Run with
+// `go test -fuzz=FuzzParse ./internal/sqlparse`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT * FROM users CONSTRAINT COUNT(*) = 1M WHERE age <= 30`,
+		`SELECT * FROM supplier, part, partsupp CONSTRAINT SUM(ps_availqty) >= 0.1M
+		 WHERE (s_suppkey = ps_suppkey) NOREFINE AND (p_retailprice < 1000)`,
+		`SELECT * FROM t CONSTRAINT AVG(x) = 5 WHERE 10 <= y <= 50 AND s = 'it''s'`,
+		`SELECT * FROM a, b CONSTRAINT MAX(v) > 9 WHERE 2*a.u = 3*b.v AND x BETWEEN 1 AND 9`,
+		`SELECT * FROM t CONSTRAINT MYUDA(x) = 2K WHERE s IN ('a', 'b') NOREFINE -- c`,
+		`SELECT * FROM t CONSTRAINT COUNT(*) <= .5 WHERE x >= -1.5e3`,
+		``,
+		`SELECT * FROM`,
+		`)(*&^%$`,
+		strings.Repeat("(", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		ast, err := Parse(input)
+		if err != nil {
+			return // rejections are fine; panics are not
+		}
+		if len(ast.Tables) == 0 {
+			t.Fatalf("accepted statement with no tables: %q", input)
+		}
+		if ast.Agg.FuncName == "" {
+			t.Fatalf("accepted statement with no aggregate: %q", input)
+		}
+		for i, p := range ast.Preds {
+			switch p.kind {
+			case pkCmp:
+				if p.LCol == nil && p.RCol == nil {
+					t.Fatalf("pred %d compares constants in accepted %q", i, input)
+				}
+			case pkIn, pkStrEq:
+				if len(p.Strings) == 0 {
+					t.Fatalf("pred %d has empty string set in accepted %q", i, input)
+				}
+			case pkRange:
+				// lo/hi are whatever was written; analyzer validates order.
+			default:
+				t.Fatalf("pred %d has invalid kind in accepted %q", i, input)
+			}
+		}
+	})
+}
+
+// FuzzLex asserts the lexer terminates without panicking on arbitrary
+// input and that token positions are monotone.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{"a 1.5M 'x''y' <= (", "--only comment", "\x00\xff", "1e", "'"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := lex(input)
+		if err != nil {
+			return
+		}
+		last := -1
+		for _, tk := range toks {
+			if tk.pos < last {
+				t.Fatalf("token positions regress in %q", input)
+			}
+			last = tk.pos
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tkEOF {
+			t.Fatalf("token stream must end with EOF for %q", input)
+		}
+	})
+}

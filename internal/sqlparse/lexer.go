@@ -1,0 +1,171 @@
+// Package sqlparse implements the paper's SQL extension for
+// Aggregation Constrained Queries (§2.1):
+//
+//	SELECT * FROM t1, t2, ...
+//	CONSTRAINT AGG(attribute) Op X
+//	WHERE P1 [NOREFINE] AND P2 [NOREFINE] AND ...
+//
+// Parse produces an AST; Analyze resolves it against a catalog into a
+// relq.Query, computing predicate intervals (and hence PScore widths)
+// from attribute domain statistics, exactly as §2.2 anchors intervals
+// at attribute minima/maxima.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkStar
+	tkComma
+	tkDot
+	tkLParen
+	tkRParen
+	tkOp // = < <= > >= <> !=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tkEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes the input. Numbers accept the paper's K/M/B magnitude
+// suffixes ("CONSTRAINT COUNT(*)=1M", "SUM(ps_availqty) >= 0.1M").
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// SQL line comment: skip to end of line.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '*':
+			toks = append(toks, token{kind: tkStar, text: "*", pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tkComma, text: ",", pos: i})
+			i++
+		case c == '.' && (i+1 >= n || !isDigit(input[i+1])):
+			toks = append(toks, token{kind: tkDot, text: ".", pos: i})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tkLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tkRParen, text: ")", pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tkOp, text: "=", pos: i})
+			i++
+		case c == '<' || c == '>' || c == '!':
+			op := string(c)
+			i++
+			if i < n && (input[i] == '=' || (c == '<' && input[i] == '>')) {
+				op += string(input[i])
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("sqlparse: stray '!' at offset %d", i-1)
+			}
+			toks = append(toks, token{kind: tkOp, text: op, pos: i - len(op)})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+				}
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, token{kind: tkString, text: sb.String(), pos: start})
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])) ||
+			(c == '-' && i+1 < n && (isDigit(input[i+1]) || input[i+1] == '.')):
+			start := i
+			if c == '-' {
+				i++
+			}
+			for i < n && (isDigit(input[i]) || input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			text := input[start:i]
+			mult := 1.0
+			if i < n {
+				switch input[i] {
+				case 'K', 'k':
+					mult, i = 1e3, i+1
+				case 'M', 'm':
+					mult, i = 1e6, i+1
+				case 'B', 'b':
+					mult, i = 1e9, i+1
+				}
+				// A magnitude suffix must end the number (not start an identifier).
+				if mult != 1 && i < n && isIdentChar(input[i]) {
+					return nil, fmt.Errorf("sqlparse: malformed number at offset %d", start)
+				}
+			}
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlparse: malformed number %q at offset %d", text, start)
+			}
+			toks = append(toks, token{kind: tkNumber, text: text, num: v * mult, pos: start})
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentChar(input[i]) {
+				i++
+			}
+			toks = append(toks, token{kind: tkIdent, text: input[start:i], pos: start})
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c)
+}

@@ -1,0 +1,325 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses an ACQ statement into an AST.
+func Parse(input string) (*AST, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	ast, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tkEOF) {
+		return nil, p.errorf("trailing input starting at %s", p.peek())
+	}
+	return ast, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token       { return p.toks[p.i] }
+func (p *parser) next() token       { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokKind) bool { return p.toks[p.i].kind == k }
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tkIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errorf("expected %s, got %s", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errorf("expected %s, got %s", what, p.peek())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+var reservedWords = map[string]bool{
+	"select": true, "from": true, "where": true, "constraint": true,
+	"norefine": true, "and": true, "in": true, "between": true, "abs": true,
+}
+
+func (p *parser) parseQuery() (*AST, error) {
+	ast := &AST{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkStar, "'*'"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.expect(tkIdent, "table name")
+		if err != nil {
+			return nil, err
+		}
+		if reservedWords[strings.ToLower(t.text)] {
+			return nil, p.errorf("reserved word %q used as table name", t.text)
+		}
+		ast.Tables = append(ast.Tables, t.text)
+		if !p.at(tkComma) {
+			break
+		}
+		p.next()
+	}
+
+	if p.atKeyword("CONSTRAINT") {
+		p.next()
+		agg, err := p.parseAggClause()
+		if err != nil {
+			return nil, err
+		}
+		ast.Agg = agg
+	} else {
+		return nil, p.errorf("ACQ requires a CONSTRAINT clause")
+	}
+
+	if p.atKeyword("WHERE") {
+		p.next()
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			ast.Preds = append(ast.Preds, pred)
+			if !p.atKeyword("AND") {
+				break
+			}
+			p.next()
+		}
+	}
+	return ast, nil
+}
+
+func (p *parser) parseAggClause() (AggClause, error) {
+	var a AggClause
+	t, err := p.expect(tkIdent, "aggregate function")
+	if err != nil {
+		return a, err
+	}
+	a.FuncName = strings.ToUpper(t.text)
+	if _, err := p.expect(tkLParen, "'('"); err != nil {
+		return a, err
+	}
+	if p.at(tkStar) {
+		p.next()
+		a.Star = true
+	} else {
+		col, err := p.parseColRef()
+		if err != nil {
+			return a, err
+		}
+		a.Col = col
+	}
+	if _, err := p.expect(tkRParen, "')'"); err != nil {
+		return a, err
+	}
+	op, err := p.expect(tkOp, "comparison operator")
+	if err != nil {
+		return a, err
+	}
+	a.Op = op.text
+	num, err := p.expect(tkNumber, "constraint target")
+	if err != nil {
+		return a, err
+	}
+	a.Target = num.num
+	return a, nil
+}
+
+// parseColRef parses [coef '*'] ident ['.' ident].
+func (p *parser) parseColRef() (ColAST, error) {
+	var c ColAST
+	if p.at(tkNumber) {
+		coef := p.next().num
+		if _, err := p.expect(tkStar, "'*' after coefficient"); err != nil {
+			return c, err
+		}
+		c.Coef = coef
+	}
+	t, err := p.expect(tkIdent, "column reference")
+	if err != nil {
+		return c, err
+	}
+	if reservedWords[strings.ToLower(t.text)] {
+		return c, p.errorf("reserved word %q used as column", t.text)
+	}
+	c.Column = t.text
+	if p.at(tkDot) {
+		p.next()
+		t2, err := p.expect(tkIdent, "column name after '.'")
+		if err != nil {
+			return c, err
+		}
+		c.Table, c.Column = c.Column, t2.text
+	}
+	return c, nil
+}
+
+// term is one side of a comparison: a number or a column reference.
+type term struct {
+	isNum bool
+	num   float64
+	col   ColAST
+}
+
+func (p *parser) parseTerm() (term, error) {
+	if p.at(tkNumber) {
+		// Lookahead: "2*col" is a scaled column, plain "2" is a number.
+		if p.toks[p.i+1].kind == tkStar {
+			c, err := p.parseColRef()
+			if err != nil {
+				return term{}, err
+			}
+			return term{col: c}, nil
+		}
+		return term{isNum: true, num: p.next().num}, nil
+	}
+	c, err := p.parseColRef()
+	if err != nil {
+		return term{}, err
+	}
+	return term{col: c}, nil
+}
+
+func (p *parser) parsePred() (PredAST, error) {
+	var pred PredAST
+	parens := 0
+	for p.at(tkLParen) {
+		p.next()
+		parens++
+	}
+
+	lhs, err := p.parseTerm()
+	if err != nil {
+		return pred, err
+	}
+
+	switch {
+	case !lhs.isNum && p.atKeyword("IN"):
+		p.next()
+		if _, err := p.expect(tkLParen, "'('"); err != nil {
+			return pred, err
+		}
+		pred.kind = pkIn
+		pred.Col = lhs.col
+		for {
+			s, err := p.expect(tkString, "string literal")
+			if err != nil {
+				return pred, err
+			}
+			pred.Strings = append(pred.Strings, s.text)
+			if !p.at(tkComma) {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(tkRParen, "')'"); err != nil {
+			return pred, err
+		}
+
+	case !lhs.isNum && p.atKeyword("BETWEEN"):
+		p.next()
+		lo, err := p.expect(tkNumber, "number")
+		if err != nil {
+			return pred, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return pred, err
+		}
+		hi, err := p.expect(tkNumber, "number")
+		if err != nil {
+			return pred, err
+		}
+		pred.kind = pkRange
+		pred.Col = lhs.col
+		pred.Lo, pred.Hi = lo.num, hi.num
+
+	default:
+		op, err := p.expect(tkOp, "comparison operator")
+		if err != nil {
+			return pred, err
+		}
+		// String equality: col = 'str'.
+		if !lhs.isNum && op.text == "=" && p.at(tkString) {
+			s := p.next()
+			pred.kind = pkStrEq
+			pred.Col = lhs.col
+			pred.Strings = []string{s.text}
+			break
+		}
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return pred, err
+		}
+		// Chained range: "10 <= col <= 50".
+		if lhs.isNum && !rhs.isNum && p.at(tkOp) {
+			op2 := p.next()
+			hi, err := p.expect(tkNumber, "range upper bound")
+			if err != nil {
+				return pred, err
+			}
+			if !isLess(op.text) || !isLess(op2.text) {
+				return pred, p.errorf("range predicate must use < or <= on both sides")
+			}
+			pred.kind = pkRange
+			pred.Col = rhs.col
+			pred.Lo, pred.Hi = lhs.num, hi.num
+			break
+		}
+		pred.kind = pkCmp
+		pred.Op = op.text
+		if lhs.isNum {
+			pred.LNum = lhs.num
+		} else {
+			c := lhs.col
+			pred.LCol = &c
+		}
+		if rhs.isNum {
+			pred.RNum = rhs.num
+		} else {
+			c := rhs.col
+			pred.RCol = &c
+		}
+		if pred.LCol == nil && pred.RCol == nil {
+			return pred, p.errorf("predicate compares two constants")
+		}
+	}
+
+	for parens > 0 {
+		if _, err := p.expect(tkRParen, "')'"); err != nil {
+			return pred, err
+		}
+		parens--
+	}
+	if p.atKeyword("NOREFINE") {
+		p.next()
+		pred.NoRefine = true
+	}
+	return pred, nil
+}
+
+func isLess(op string) bool { return op == "<" || op == "<=" }

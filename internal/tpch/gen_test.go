@@ -1,0 +1,199 @@
+package tpch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	cat, err := Generate(Config{Rows: 400, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	ps, err := cat.Table("partsupp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumRows() != 400 {
+		t.Errorf("partsupp rows = %d, want 400", ps.NumRows())
+	}
+	part, err := cat.Table("part")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NumRows() != 100 {
+		t.Errorf("part rows = %d, want 100", part.NumRows())
+	}
+	supp, err := cat.Table("supplier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supp.NumRows() != 20 {
+		t.Errorf("supplier rows = %d, want 20", supp.NumRows())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Rows: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Rows: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := a.Table("part")
+	tb, _ := b.Table("part")
+	for r := 0; r < ta.NumRows(); r++ {
+		for c := range ta.Schema().Columns {
+			if ta.ValueAt(r, c) != tb.ValueAt(r, c) {
+				t.Fatalf("row %d col %d differs across same-seed runs", r, c)
+			}
+		}
+	}
+	c2, err := Generate(Config{Rows: 100, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := c2.Table("part")
+	same := true
+	for r := 0; r < ta.NumRows() && same; r++ {
+		if ta.ValueAt(r, 1) != tc.ValueAt(r, 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical p_retailprice columns")
+	}
+}
+
+func TestGenerateDomains(t *testing.T) {
+	cat, err := Generate(Config{Rows: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, _ := cat.Table("part")
+	priceOrd := part.Schema().Ordinal("p_retailprice")
+	sizeOrd := part.Schema().Ordinal("p_size")
+	for r := 0; r < part.NumRows(); r++ {
+		price, _ := part.NumericAt(r, priceOrd)
+		if price < RetailPriceMin || price > RetailPriceMax+0.01 {
+			t.Fatalf("p_retailprice %v out of domain", price)
+		}
+		size, _ := part.NumericAt(r, sizeOrd)
+		if size < SizeMin || size > SizeMax {
+			t.Fatalf("p_size %v out of domain", size)
+		}
+	}
+	ps, _ := cat.Table("partsupp")
+	qtyOrd := ps.Schema().Ordinal("ps_availqty")
+	pkOrd := ps.Schema().Ordinal("ps_partkey")
+	skOrd := ps.Schema().Ordinal("ps_suppkey")
+	nPart := part.NumRows()
+	supp, _ := cat.Table("supplier")
+	nSupp := supp.NumRows()
+	for r := 0; r < ps.NumRows(); r++ {
+		qty, _ := ps.NumericAt(r, qtyOrd)
+		if qty < AvailQtyMin || qty > AvailQtyMax {
+			t.Fatalf("ps_availqty %v out of domain", qty)
+		}
+		pk, _ := ps.NumericAt(r, pkOrd)
+		if pk < 1 || pk > float64(nPart) {
+			t.Fatalf("ps_partkey %v dangling (nPart=%d)", pk, nPart)
+		}
+		sk, _ := ps.NumericAt(r, skOrd)
+		if sk < 1 || sk > float64(nSupp) {
+			t.Fatalf("ps_suppkey %v dangling (nSupp=%d)", sk, nSupp)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Rows: 0}); err == nil {
+		t.Error("Rows=0: expected error")
+	}
+	if _, err := Generate(Config{Rows: 10, Zipf: -1}); err == nil {
+		t.Error("negative Zipf: expected error")
+	}
+	if _, err := GenerateUsers(UsersConfig{Rows: 0}); err == nil {
+		t.Error("users Rows=0: expected error")
+	}
+	if _, err := GenerateUsers(UsersConfig{Rows: 10, Zipf: -1}); err == nil {
+		t.Error("users negative Zipf: expected error")
+	}
+}
+
+func TestSkewConcentratesMass(t *testing.T) {
+	uniform, err := Generate(Config{Rows: 4000, Seed: 5, Zipf: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := Generate(Config{Rows: 4000, Seed: 5, Zipf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fraction of ps_availqty values in the lowest decile of the domain.
+	lowDecile := func(catName string) float64 {
+		var cat = uniform
+		if catName == "skewed" {
+			cat = skewed
+		}
+		ps, _ := cat.Table("partsupp")
+		ord := ps.Schema().Ordinal("ps_availqty")
+		cut := AvailQtyMin + (AvailQtyMax-AvailQtyMin)/10
+		n := 0
+		for r := 0; r < ps.NumRows(); r++ {
+			v, _ := ps.NumericAt(r, ord)
+			if v <= float64(cut) {
+				n++
+			}
+		}
+		return float64(n) / float64(ps.NumRows())
+	}
+	u, s := lowDecile("uniform"), lowDecile("skewed")
+	if s < 2*u {
+		t.Errorf("Zipf=1 low-decile mass %v should dominate uniform %v", s, u)
+	}
+}
+
+func TestGenerateUsers(t *testing.T) {
+	cat, err := GenerateUsers(UsersConfig{Rows: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := cat.Table("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if users.NumRows() != 500 {
+		t.Errorf("users rows = %d", users.NumRows())
+	}
+	ageOrd := users.Schema().Ordinal("age")
+	locOrd := users.Schema().Ordinal("location")
+	cities := make(map[string]struct{}, len(Cities))
+	for _, c := range Cities {
+		cities[c] = struct{}{}
+	}
+	for r := 0; r < users.NumRows(); r++ {
+		age, _ := users.NumericAt(r, ageOrd)
+		if age < 18 || age > 79 {
+			t.Fatalf("age %v out of range", age)
+		}
+		loc, _ := users.StringAt(r, locOrd)
+		if _, ok := cities[loc]; !ok {
+			t.Fatalf("unknown city %q", loc)
+		}
+	}
+}
+
+func TestSkewerIntnSmallN(t *testing.T) {
+	s := newSkewer(rand.New(rand.NewSource(1)), 1)
+	if got := s.intn(1); got != 0 {
+		t.Errorf("intn(1) = %d", got)
+	}
+	for i := 0; i < 100; i++ {
+		if v := s.intn(5); v < 0 || v >= 5 {
+			t.Fatalf("intn(5) = %d out of range", v)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"acquire/internal/agg"
+	"acquire/internal/exec"
+	"acquire/internal/relq"
+	"acquire/internal/tpch"
+)
+
+func usersEngine(t *testing.T, rows int) *exec.Engine {
+	t.Helper()
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec.New(cat)
+}
+
+func tpchEngine(t *testing.T, rows int) *exec.Engine {
+	t.Helper()
+	cat, err := tpch.Generate(tpch.Config{Rows: rows, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec.New(cat)
+}
+
+func TestBuildUsersDimensionality(t *testing.T) {
+	e := usersEngine(t, 1000)
+	for dims := 1; dims <= 5; dims++ {
+		q, err := Build(e, Spec{Kind: Users, Dims: dims, Agg: relq.AggCount})
+		if err != nil {
+			t.Fatalf("dims=%d: %v", dims, err)
+		}
+		if q.NumDims() != dims {
+			t.Errorf("dims=%d: got %d", dims, q.NumDims())
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("dims=%d: %v", dims, err)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	e := usersEngine(t, 100)
+	bad := []Spec{
+		{Kind: Users, Dims: 0, Agg: relq.AggCount},
+		{Kind: Users, Dims: 6, Agg: relq.AggCount},
+		{Kind: Users, Dims: 2, Agg: relq.AggSum},
+		{Kind: Users, Dims: 2, Agg: relq.AggCount, RefinableJoin: true},
+		{Kind: Kind(9), Dims: 2, Agg: relq.AggCount},
+	}
+	for i, s := range bad {
+		if _, err := Build(e, s); err == nil {
+			t.Errorf("spec %d: expected error", i)
+		}
+	}
+	te := tpchEngine(t, 400)
+	if _, err := Build(te, Spec{Kind: TPCH, Dims: 5, Agg: relq.AggSum}); err == nil {
+		t.Error("5 select dims exceed the TPCH pool: expected error")
+	}
+	if _, err := Build(te, Spec{Kind: TPCH, Dims: 2, Agg: relq.AggMin}); err == nil {
+		t.Error("MIN not in TPCH skeleton: expected error")
+	}
+}
+
+func TestBuildTPCHShapes(t *testing.T) {
+	e := tpchEngine(t, 2000)
+	q, err := Build(e, Spec{Kind: TPCH, Dims: 3, Agg: relq.AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Fixed) != 2 || q.NumDims() != 3 {
+		t.Errorf("shape: fixed=%d dims=%d", len(q.Fixed), q.NumDims())
+	}
+	jq, err := Build(e, Spec{Kind: TPCH, Dims: 3, Agg: relq.AggSum, RefinableJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jq.Fixed) != 1 || jq.NumDims() != 3 {
+		t.Errorf("join shape: fixed=%d dims=%d", len(jq.Fixed), jq.NumDims())
+	}
+	hasJoinDim := false
+	for _, d := range jq.Dims {
+		if d.Kind == relq.JoinBand {
+			hasJoinDim = true
+		}
+	}
+	if !hasJoinDim {
+		t.Error("RefinableJoin did not produce a join dimension")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	e := usersEngine(t, 5000)
+	q, err := Build(e, Spec{Kind: Users, Dims: 3, Agg: relq.AggCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, err := Calibrate(e, q, 0.3)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if actual <= 0 {
+		t.Fatalf("actual = %v", actual)
+	}
+	if math.Abs(q.Constraint.Target-actual/0.3) > 1e-9 {
+		t.Errorf("target = %v, want %v", q.Constraint.Target, actual/0.3)
+	}
+
+	// Re-measuring the original query yields the calibrated ratio.
+	spec, err := agg.SpecFor(q.Constraint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Aggregate(q, relq.PrefixRegion(make([]float64, q.NumDims())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := spec.Final(p) / q.Constraint.Target
+	if math.Abs(ratio-0.3) > 1e-9 {
+		t.Errorf("measured ratio = %v, want 0.3", ratio)
+	}
+
+	if _, err := Calibrate(e, q, 0); err == nil {
+		t.Error("ratio 0: expected error")
+	}
+	if _, err := Calibrate(e, q, 1.5); err == nil {
+		t.Error("ratio > 1: expected error")
+	}
+}
+
+func TestBuildCalibratedAllAggregates(t *testing.T) {
+	e := tpchEngine(t, 4000)
+	for _, a := range []relq.AggFunc{relq.AggCount, relq.AggSum, relq.AggMax} {
+		q, err := BuildCalibrated(e, Spec{Kind: TPCH, Dims: 2, Agg: a, Ratio: 0.5})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if q.Constraint.Target <= 0 {
+			t.Errorf("%s target = %v", a, q.Constraint.Target)
+		}
+	}
+}
+
+func TestAttrOffsetVariesCombination(t *testing.T) {
+	e := usersEngine(t, 1000)
+	a, err := Build(e, Spec{Kind: Users, Dims: 2, Agg: relq.AggCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(e, Spec{Kind: Users, Dims: 2, Agg: relq.AggCount, AttrOffset: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dims[0].Col == b.Dims[0].Col {
+		t.Errorf("offset did not rotate the attribute pool: %v vs %v", a.Dims[0].Col, b.Dims[0].Col)
+	}
+	te := tpchEngine(t, 800)
+	c, err := Build(te, Spec{Kind: TPCH, Dims: 2, Agg: relq.AggSum, AttrOffset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dims[0].Col.Column != "s_acctbal" {
+		t.Errorf("tpch offset dim = %v", c.Dims[0].Col)
+	}
+}
