@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race bench vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Figure-regeneration benchmarks (bench-friendly scale; full scale via
+# cmd/acqbench -rows 1000000). The parallel-exploration sweep is
+# BenchmarkParallelExplore.
+bench:
+	$(GO) test -run xxx -bench=. -benchmem .

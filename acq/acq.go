@@ -22,6 +22,7 @@
 package acq
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -256,6 +257,15 @@ func (s *Session) Refine(q *Query, opts Options) (*Result, error) {
 	return core.Run(s.eval, q, opts)
 }
 
+// RefineContext is Refine with cancellation: the context is checked at
+// every exploration layer and repartition iteration, and inside the
+// evaluation layer's batch loops. On cancellation the partial result
+// accumulated so far is returned alongside the context's error, so
+// callers can report the best refinement found before the interrupt.
+func (s *Session) RefineContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	return core.RunContext(ctx, s.eval, q, opts)
+}
+
 // UseSampling switches the evaluation layer to exact execution over a
 // Bernoulli sample with extrapolated COUNT/SUM aggregates (§3's
 // "sampling" alternative). Refinements get cheaper and noisier; the
@@ -283,6 +293,11 @@ func (s *Session) UseHistograms(buckets int) error {
 
 // UseExact restores exact execution (the default evaluation layer).
 func (s *Session) UseExact() { s.eval = s.eng }
+
+// SetParallelism bounds the worker pool used for batched
+// evaluation-layer execution. 0 (the default) means GOMAXPROCS.
+// Results are bit-identical for every worker count.
+func (s *Session) SetParallelism(workers int) { s.eng.Parallelism = workers }
 
 // Explain renders a human-readable summary of a refinement result: the
 // search profile and the recommended (or closest) query.

@@ -1,0 +1,78 @@
+package acq
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Two refinement searches on one Session must be safe to run
+// concurrently: the engine's statistics, the table stats cache and the
+// explorer's counters are all shared state. Run under `go test -race`
+// this is the regression test for the batched pipeline's concurrency
+// contract.
+func TestConcurrentRefineRace(t *testing.T) {
+	s, err := NewUsersSession(5000, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqls := []string{
+		`SELECT * FROM users CONSTRAINT COUNT(*) = 2000 WHERE age <= 30`,
+		`SELECT * FROM users CONSTRAINT COUNT(*) = 1500 WHERE income <= 60000`,
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(sqls))
+	for i, sql := range sqls {
+		wg.Add(1)
+		go func(i int, sql string) {
+			defer wg.Done()
+			q, err := s.Parse(sql)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := s.Refine(q, Options{Gamma: 15, Delta: 0.05})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !res.Satisfied && res.Closest == nil {
+				errs[i] = err
+			}
+		}(i, sql)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", i, err)
+		}
+	}
+	if st := s.Stats(); st.Queries == 0 {
+		t.Error("no evaluation-layer executions recorded")
+	}
+}
+
+// RefineContext returns the partial result with the context's error
+// when cancelled mid-search.
+func TestRefineContextCancellation(t *testing.T) {
+	s, err := NewUsersSession(20000, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Parse(`SELECT * FROM users CONSTRAINT COUNT(*) = 19000 WHERE age <= 20 AND income <= 30000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	res, err := s.RefineContext(ctx, q, Options{Gamma: 0.5, Delta: 0.0001})
+	if err == nil {
+		// The search can legitimately finish inside the timeout on a
+		// fast machine; only a hang or a nil partial result is a bug.
+		return
+	}
+	if res == nil {
+		t.Fatal("cancelled RefineContext returned no partial result")
+	}
+}

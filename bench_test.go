@@ -8,9 +8,16 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"acquire/internal/core"
+	"acquire/internal/exec"
 	"acquire/internal/harness"
+	"acquire/internal/relq"
+	"acquire/internal/tpch"
+	"acquire/internal/workload"
 )
 
 // benchCfg is the scale used for benchmark runs. TQGen dominates the
@@ -49,7 +56,7 @@ func mean(v []float64) float64 {
 // times plus the TQGen/ACQUIRE slowdown factor.
 func BenchmarkFigure8ExecutionTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure8(benchCfg())
+		figs, err := harness.Figure8(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +75,7 @@ func BenchmarkFigure8ExecutionTime(b *testing.B) {
 // aggregate error).
 func BenchmarkFigure8AggregateError(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure8(benchCfg())
+		figs, err := harness.Figure8(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +91,7 @@ func BenchmarkFigure8AggregateError(b *testing.B) {
 // quotes as ≈4.8X.
 func BenchmarkFigure8RefinementScore(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure8(benchCfg())
+		figs, err := harness.Figure8(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -103,7 +110,7 @@ func BenchmarkFigure9ExecutionTime(b *testing.B) {
 	cfg := benchCfg()
 	cfg.Rows = 5000
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure9(cfg)
+		figs, err := harness.Figure9(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +127,7 @@ func BenchmarkFigure9AggregateError(b *testing.B) {
 	cfg := benchCfg()
 	cfg.Rows = 5000
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure9(cfg)
+		figs, err := harness.Figure9(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,7 +142,7 @@ func BenchmarkFigure9RefinementScore(b *testing.B) {
 	cfg := benchCfg()
 	cfg.Rows = 5000
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure9(cfg)
+		figs, err := harness.Figure9(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +157,7 @@ func BenchmarkFigure9RefinementScore(b *testing.B) {
 // paper's 1M point comes from cmd/acqbench -sizes ...,1000000).
 func BenchmarkFigure10TableSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure10a(benchCfg(), []int{1000, 10000, 100000})
+		figs, err := harness.Figure10a(context.Background(), benchCfg(), []int{1000, 10000, 100000})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +171,7 @@ func BenchmarkFigure10TableSize(b *testing.B) {
 // BenchmarkFigure10RefinementThreshold regenerates Figure 10.b.
 func BenchmarkFigure10RefinementThreshold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure10b(benchCfg())
+		figs, err := harness.Figure10b(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +184,7 @@ func BenchmarkFigure10RefinementThreshold(b *testing.B) {
 // BenchmarkFigure10CardinalityThreshold regenerates Figure 10.c.
 func BenchmarkFigure10CardinalityThreshold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure10c(benchCfg())
+		figs, err := harness.Figure10c(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +198,7 @@ func BenchmarkFigure10CardinalityThreshold(b *testing.B) {
 // MAX on the TPC-H skeleton).
 func BenchmarkFigure11AggregateTypes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure11(benchCfg())
+		figs, err := harness.Figure11(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,7 +212,7 @@ func BenchmarkFigure11AggregateTypes(b *testing.B) {
 // BenchmarkFigure11RefinementScore regenerates Figure 11.b.
 func BenchmarkFigure11RefinementScore(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.Figure11(benchCfg())
+		figs, err := harness.Figure11(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -218,7 +225,7 @@ func BenchmarkFigure11RefinementScore(b *testing.B) {
 // BenchmarkSkewedData regenerates the §8.4.4 skew study (Z=0 vs Z=1).
 func BenchmarkSkewedData(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.SkewStudy(benchCfg())
+		figs, err := harness.SkewStudy(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -231,7 +238,7 @@ func BenchmarkSkewedData(b *testing.B) {
 // ACQUIRE: refining a join predicate.
 func BenchmarkJoinRefinement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.JoinRefinementStudy(benchCfg())
+		figs, err := harness.JoinRefinementStudy(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -243,7 +250,7 @@ func BenchmarkJoinRefinement(b *testing.B) {
 // computation against whole-query re-execution.
 func BenchmarkAblationIncremental(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.AblationIncremental(benchCfg())
+		figs, err := harness.AblationIncremental(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -258,7 +265,7 @@ func BenchmarkAblationIncremental(b *testing.B) {
 // BenchmarkAblationGridIndex quantifies the §7.4 grid bitmap index.
 func BenchmarkAblationGridIndex(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.AblationGridIndex(benchCfg())
+		figs, err := harness.AblationGridIndex(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -273,7 +280,7 @@ func BenchmarkAblationGridIndex(b *testing.B) {
 // sampling, histogram estimation) driving the same searches.
 func BenchmarkEvaluationLayers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		figs, err := harness.EvaluationLayerStudy(benchCfg())
+		figs, err := harness.EvaluationLayerStudy(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -289,7 +296,7 @@ func BenchmarkHeadlineClaims(b *testing.B) {
 	cfg := benchCfg()
 	cfg.Rows = 30000 // §8.5(3) is scale-dependent; see harness.Summary docs
 	for i := 0; i < b.N; i++ {
-		claims, _, err := harness.Summary(cfg)
+		claims, _, err := harness.Summary(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -312,4 +319,42 @@ func BenchmarkTable1(b *testing.B) {
 			b.Fatal("empty Table 1")
 		}
 	}
+}
+
+// BenchmarkParallelExplore measures the batched exploration pipeline
+// across evaluation-layer worker counts at 100K-row scale: the same
+// calibrated 3-predicate search, with exec.Engine.Parallelism swept
+// over 1/2/4/8. Results are deterministic across the sweep (see
+// TestRefineDeterministicSerialVsParallel); the timing spread is the
+// parallel speedup. On a single-CPU host all worker counts tie — run
+// on a multi-core machine for the real curve (EXPERIMENTS.md records
+// both).
+func BenchmarkParallelExplore(b *testing.B) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 100000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := exec.New(cat)
+	q, err := workload.BuildCalibrated(e, workload.Spec{
+		Kind: workload.Users, Dims: 3, Agg: relq.AggCount, Ratio: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e.Parallelism = w
+			var explored, cells int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunContext(context.Background(), e, q, core.Options{Gamma: 20, Delta: 0.05})
+				if err != nil {
+					b.Fatal(err)
+				}
+				explored, cells = res.Explored, res.CellQueries
+			}
+			b.ReportMetric(float64(explored), "explored")
+			b.ReportMetric(float64(cells), "cell-queries")
+		})
+	}
+	e.Parallelism = 0
 }

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"acquire/internal/harness"
 )
@@ -22,32 +26,65 @@ import (
 type experiment struct {
 	name string
 	desc string
-	run  func(harness.Config, []int) ([]harness.Figure, error)
+	run  func(context.Context, harness.Config, []int) ([]harness.Figure, error)
 }
 
 var experiments = []experiment{
-	{"fig8", "Figures 8.a-8.c: ratio sweep, all methods", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.Figure8(c) }},
-	{"fig9", "Figures 9.a-9.c: dimensionality sweep, all methods", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.Figure9(c) }},
-	{"fig10a", "Figure 10.a: table-size sweep", func(c harness.Config, sizes []int) ([]harness.Figure, error) { return harness.Figure10a(c, sizes) }},
-	{"fig10b", "Figure 10.b: refinement-threshold sweep", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.Figure10b(c) }},
-	{"fig10c", "Figure 10.c: cardinality-threshold sweep", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.Figure10c(c) }},
-	{"fig11", "Figures 11.a-11.b: aggregate types (SUM/COUNT/MAX)", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.Figure11(c) }},
-	{"skew", "§8.4.4: Zipf Z=1 robustness study", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.SkewStudy(c) }},
-	{"join", "join-predicate refinement study (Table 1 capability)", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.JoinRefinementStudy(c) }},
-	{"order-sensitivity", "§8.4.1: BinSearch predicate-order instability sweep", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.OrderSensitivityStudy(c) }},
-	{"eval-layers", "evaluation layers study (§3): exact vs sampling vs histogram", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.EvaluationLayerStudy(c) }},
-	{"ablation-incremental", "incremental aggregate computation ablation (§5)", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.AblationIncremental(c) }},
-	{"ablation-gridindex", "grid bitmap index ablation (§7.4)", func(c harness.Config, _ []int) ([]harness.Figure, error) { return harness.AblationGridIndex(c) }},
+	{"fig8", "Figures 8.a-8.c: ratio sweep, all methods", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.Figure8(ctx, c)
+	}},
+	{"fig9", "Figures 9.a-9.c: dimensionality sweep, all methods", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.Figure9(ctx, c)
+	}},
+	{"fig10a", "Figure 10.a: table-size sweep", func(ctx context.Context, c harness.Config, sizes []int) ([]harness.Figure, error) {
+		return harness.Figure10a(ctx, c, sizes)
+	}},
+	{"fig10b", "Figure 10.b: refinement-threshold sweep", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.Figure10b(ctx, c)
+	}},
+	{"fig10c", "Figure 10.c: cardinality-threshold sweep", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.Figure10c(ctx, c)
+	}},
+	{"fig11", "Figures 11.a-11.b: aggregate types (SUM/COUNT/MAX)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.Figure11(ctx, c)
+	}},
+	{"skew", "§8.4.4: Zipf Z=1 robustness study", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.SkewStudy(ctx, c)
+	}},
+	{"join", "join-predicate refinement study (Table 1 capability)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.JoinRefinementStudy(ctx, c)
+	}},
+	{"order-sensitivity", "§8.4.1: BinSearch predicate-order instability sweep", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.OrderSensitivityStudy(ctx, c)
+	}},
+	{"eval-layers", "evaluation layers study (§3): exact vs sampling vs histogram", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.EvaluationLayerStudy(ctx, c)
+	}},
+	{"ablation-incremental", "incremental aggregate computation ablation (§5)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.AblationIncremental(ctx, c)
+	}},
+	{"ablation-gridindex", "grid bitmap index ablation (§7.4)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.AblationGridIndex(ctx, c)
+	}},
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM cancels the context, which propagates through
+	// every harness runner down to the evaluation layer's batch loops,
+	// so even a 1M-row sweep stops within one region evaluation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "acqbench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "acqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("acqbench", flag.ContinueOnError)
 	var (
 		expName = fs.String("experiment", "all", "experiment to run (all, table1, summary, "+names()+")")
@@ -81,7 +118,7 @@ func run(args []string) error {
 		fmt.Println(harness.Table1())
 	}
 	if *expName == "summary" {
-		claims, figs, err := harness.Summary(cfg)
+		claims, figs, err := harness.Summary(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -96,7 +133,7 @@ func run(args []string) error {
 			continue
 		}
 		fmt.Printf("=== %s — %s (rows=%d, δ=%g, γ=%g) ===\n", ex.name, ex.desc, cfg.Rows, *delta, *gamma)
-		figs, err := ex.run(cfg, sizes)
+		figs, err := ex.run(ctx, cfg, sizes)
 		if err != nil {
 			return fmt.Errorf("%s: %w", ex.name, err)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -22,34 +23,34 @@ func TestNamesAndKnown(t *testing.T) {
 
 func TestRunSingleExperiment(t *testing.T) {
 	// Smallest end-to-end run: fig10b at tiny scale (ACQUIRE only).
-	if err := run([]string{"-experiment", "fig10b", "-rows", "1000"}); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "fig10b", "-rows", "1000"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunTable1(t *testing.T) {
-	if err := run([]string{"-experiment", "table1"}); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "table1"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunFig10aWithSizes(t *testing.T) {
-	if err := run([]string{"-experiment", "fig10a", "-sizes", "500,1000", "-tqgen-k", "3", "-tqgen-rounds", "1"}); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "fig10a", "-sizes", "500,1000", "-tqgen-k", "3", "-tqgen-rounds", "1"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunSummary(t *testing.T) {
-	if err := run([]string{"-experiment", "summary", "-rows", "2000", "-tqgen-k", "4", "-tqgen-rounds", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "summary", "-rows", "2000", "-tqgen-k", "4", "-tqgen-rounds", "2"}); err != nil {
 		t.Fatalf("run summary: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-experiment", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-experiment", "nope"}); err == nil {
 		t.Error("unknown experiment: expected error")
 	}
-	if err := run([]string{"-experiment", "fig10a", "-sizes", "a,b"}); err == nil {
+	if err := run(context.Background(), []string{"-experiment", "fig10a", "-sizes", "a,b"}); err == nil {
 		t.Error("bad sizes: expected error")
 	}
 }

@@ -17,24 +17,37 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"acquire/acq"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C / SIGTERM cancels the refinement search; the search checks
+	// the context at every exploration layer, so the partial result — the
+	// best refinement found before the interrupt — is still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "acquire: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "acquire:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("acquire", flag.ContinueOnError)
 	var (
 		dataset = fs.String("dataset", "", "generated dataset: tpch or users (alternative to -load)")
@@ -171,9 +184,13 @@ func run(args []string, out io.Writer) error {
 	if *explain {
 		opts.Trace = &trace
 	}
-	res, err := s.Refine(q, opts)
-	if err != nil {
-		return err
+	res, runErr := s.RefineContext(ctx, q, opts)
+	if runErr != nil && res == nil {
+		return runErr
+	}
+	if runErr != nil {
+		// Cancelled mid-search: report what was found before bailing.
+		fmt.Fprintf(out, "search interrupted — partial results after %d explored queries:\n", res.Explored)
 	}
 	if *explain {
 		if _, err := trace.WriteTo(out); err != nil {
@@ -194,7 +211,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "closest query (aggregate %.6g, error %.4f):\n  %s\n",
 				res.Closest.Aggregate, res.Closest.Err, res.Closest.ToSQL())
 		}
-		return nil
+		return runErr
 	}
 
 	fmt.Fprintf(out, "%d refined quer(ies) satisfy the constraint; best %d:\n", len(res.Queries), min(*maxOut, len(res.Queries)))
@@ -225,7 +242,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, "... (truncated)")
 		}
 	}
-	return nil
+	return runErr
 }
 
 // multiFlag collects repeatable string flags.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 func runCLI(t *testing.T, args ...string) (string, error) {
 	t.Helper()
 	var sb strings.Builder
-	err := run(args, &sb)
+	err := run(context.Background(), args, &sb)
 	return sb.String(), err
 }
 

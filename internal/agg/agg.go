@@ -59,6 +59,26 @@ func Merge(a, b Partial) Partial {
 	}
 }
 
+// ApproxEqual compares two partials field by field: Count, Min and Max
+// must match exactly (merging picks values, it never rounds them),
+// while Sum and User — whose float association differs between an
+// incremental recurrence and a direct scan — are compared with the
+// given relative tolerance.
+func ApproxEqual(a, b Partial, tol float64) bool {
+	if a.Count != b.Count {
+		return false
+	}
+	// Min/Max of empty partials are ±Inf; compare via equality that
+	// treats equal infinities as equal (== does).
+	if a.Min != b.Min || a.Max != b.Max {
+		return false
+	}
+	near := func(x, y float64) bool {
+		return math.Abs(x-y) <= tol*(1+math.Abs(x)+math.Abs(y))
+	}
+	return near(a.Sum, b.Sum) && near(a.User, b.User)
+}
+
 // Spec describes which aggregate the constraint asks for.
 type Spec struct {
 	Func relq.AggFunc

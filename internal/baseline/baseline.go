@@ -13,6 +13,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -109,11 +110,13 @@ func maxScores(e *exec.Engine, q *relq.Query) ([]float64, error) {
 }
 
 // evalAt executes the whole refined query at the score vector and
-// returns the aggregate value.
-func evalAt(e *exec.Engine, q *relq.Query, spec agg.Spec, scores []float64) (float64, error) {
-	p, err := e.Aggregate(q, relq.PrefixRegion(scores))
+// returns the aggregate value. Every baseline probe passes through
+// here, so the context check makes all three methods cancellable at
+// probe granularity.
+func evalAt(ctx context.Context, e *exec.Engine, q *relq.Query, spec agg.Spec, scores []float64) (float64, error) {
+	parts, err := e.AggregateBatch(ctx, q, []relq.Region{relq.PrefixRegion(scores)})
 	if err != nil {
 		return 0, err
 	}
-	return spec.Final(p), nil
+	return spec.Final(parts[0]), nil
 }

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,6 +33,12 @@ type BinSearchOptions struct {
 // probes) but order-sensitive and gives no proximity guarantee (Table 1:
 // cardinality only, no proximity criterion).
 func BinSearch(e *exec.Engine, q *relq.Query, opts BinSearchOptions) (*Outcome, error) {
+	return BinSearchContext(context.Background(), e, q, opts)
+}
+
+// BinSearchContext is BinSearch with cancellation, checked at every
+// probe.
+func BinSearchContext(ctx context.Context, e *exec.Engine, q *relq.Query, opts BinSearchOptions) (*Outcome, error) {
 	if opts.Delta == 0 {
 		opts.Delta = 0.05
 	}
@@ -83,7 +90,7 @@ func BinSearch(e *exec.Engine, q *relq.Query, opts BinSearchOptions) (*Outcome, 
 		}
 	}
 
-	val, err := evalAt(e, q, spec, scores)
+	val, err := evalAt(ctx, e, q, spec, scores)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +110,7 @@ func BinSearch(e *exec.Engine, q *relq.Query, opts BinSearchOptions) (*Outcome, 
 			continue
 		}
 		scores[di] = hi
-		val, err := evalAt(e, q, spec, scores)
+		val, err := evalAt(ctx, e, q, spec, scores)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +123,7 @@ func BinSearch(e *exec.Engine, q *relq.Query, opts BinSearchOptions) (*Outcome, 
 		for probe := 0; probe < opts.MaxProbes; probe++ {
 			mid := (lo + hi) / 2
 			scores[di] = mid
-			val, err := evalAt(e, q, spec, scores)
+			val, err := evalAt(ctx, e, q, spec, scores)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,6 +28,12 @@ import (
 // is 0 by construction ("a Top-k query explicitly specifies the number
 // of tuples to return", §8.4.1) whenever enough tuples exist.
 func TopK(e *exec.Engine, q *relq.Query) (*Outcome, error) {
+	return TopKContext(context.Background(), e, q)
+}
+
+// TopKContext is TopK with cancellation, checked before the scan and
+// before the sort (the two expensive phases).
+func TopKContext(ctx context.Context, e *exec.Engine, q *relq.Query) (*Outcome, error) {
 	if q.Constraint.Func != relq.AggCount {
 		return nil, fmt.Errorf("baseline: Top-k supports only COUNT constraints, got %s", q.Constraint.Func)
 	}
@@ -35,9 +42,15 @@ func TopK(e *exec.Engine, q *relq.Query) (*Outcome, error) {
 			return nil, fmt.Errorf("baseline: Top-k cannot refine join predicates")
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	before := e.Snapshot()
 	rows, err := e.ViolationScan(q)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	k := int(q.Constraint.Target)

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
 	"acquire/internal/agg"
@@ -48,6 +49,13 @@ func (o TQGenOptions) withDefaults() TQGenOptions {
 // Refinement proximity is not an objective (Figure 8.c), so the method
 // reports whatever refinement its best combination happens to carry.
 func TQGen(e *exec.Engine, q *relq.Query, opts TQGenOptions) (*Outcome, error) {
+	return TQGenContext(context.Background(), e, q, opts)
+}
+
+// TQGenContext is TQGen with cancellation, checked at every grid-cell
+// execution — essential here, since a single round issues GridK^d
+// whole queries.
+func TQGenContext(ctx context.Context, e *exec.Engine, q *relq.Query, opts TQGenOptions) (*Outcome, error) {
 	opts = opts.withDefaults()
 	spec, err := agg.SpecFor(q.Constraint)
 	if err != nil {
@@ -90,7 +98,7 @@ func TQGen(e *exec.Engine, q *relq.Query, opts TQGenOptions) (*Outcome, error) {
 			for i := 0; i < d; i++ {
 				scores[i] = cands[i][idx[i]]
 			}
-			val, err := evalAt(e, q, spec, scores)
+			val, err := evalAt(ctx, e, q, spec, scores)
 			if err != nil {
 				return nil, err
 			}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"acquire/internal/agg"
 	"acquire/internal/norms"
@@ -108,6 +111,15 @@ type Result struct {
 // query returns too much — and are routed to the §7.2 contraction
 // search automatically.
 func Run(e Evaluator, q *relq.Query, opts Options) (*Result, error) {
+	return RunContext(context.Background(), e, q, opts)
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// Expand layer, every evaluation-layer batch, and every repartitioning
+// probe. When the context is cancelled mid-search, RunContext returns
+// the partial Result accumulated so far together with the context's
+// error, so callers can report progress before abandoning the search.
+func RunContext(ctx context.Context, e Evaluator, q *relq.Query, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -116,7 +128,7 @@ func Run(e Evaluator, q *relq.Query, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: aggregate %s lacks the optimal substructure property (§2.6)", q.Constraint.Func)
 	}
 	if q.Constraint.Op == relq.CmpLE || q.Constraint.Op == relq.CmpLT {
-		return Contract(e, q, opts)
+		return ContractContext(ctx, e, q, opts)
 	}
 	if c, ok := opts.Norm.(norms.Custom); ok {
 		if err := norms.CheckMonotone(c, q.NumDims(), 256, 1); err != nil {
@@ -146,12 +158,29 @@ func Run(e Evaluator, q *relq.Query, opts Options) (*Result, error) {
 		return nil, err
 	}
 	x := newExplorer(e, q, sp, spec, !opts.NoIncremental)
-	return runSearch(q, sp, fr, x, spec, errFn, opts)
+	return runSearch(ctx, q, sp, fr, x, spec, errFn, opts)
+}
+
+// isCancellation reports whether err stems from context cancellation
+// or deadline expiry (possibly wrapped).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // runSearch is Algorithm 4: iterate Expand and Explore until the first
 // satisfying layer is fully investigated.
-func runSearch(q *relq.Query, sp *space, fr frontier, x *explorer, spec agg.Spec, errFn agg.ErrorFunc, opts Options) (*Result, error) {
+//
+// The loop is organised around whole Expand layers: the layer's unique
+// evaluation-layer queries (cell sub-queries in incremental mode) are
+// mutually disjoint, so they are dispatched as one batch the evaluator
+// may execute concurrently, and then every point's Eq. 17 recurrence
+// and repartitioning fold serially in frontier order. The serial fold
+// keeps the search byte-identical to the single-threaded one; the
+// early-exit checks that the serial loop applied per point can only
+// fire at a layer boundary (every point inside a layer ties the
+// layer's QScore within eps), so hoisting them to the boundary changes
+// nothing observable.
+func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *explorer, spec agg.Spec, errFn agg.ErrorFunc, opts Options) (*Result, error) {
 	res := &Result{}
 	target := q.Constraint.Target
 	const eps = 1e-9
@@ -160,9 +189,15 @@ func runSearch(q *relq.Query, sp *space, fr frontier, x *explorer, spec agg.Spec
 	var closestErr = math.Inf(1)
 
 	// Layer tracking for the monotone-overshoot early exit.
-	layerScore := math.Inf(-1)
+	firstLayer := true
 	layerAllOvershoot := true
 	monotoneEQ := spec.Monotone() && q.Constraint.Op == relq.CmpEQ
+
+	lf := newLayerFrontier(fr, func(p point) float64 {
+		return opts.Norm.Score(p.scores(sp.step))
+	})
+	lt, _ := opts.Trace.(LayerTracer)
+	layerIdx := 0
 
 	record := func(rq relq.RefinedQuery) {
 		res.Queries = append(res.Queries, rq)
@@ -170,36 +205,58 @@ func runSearch(q *relq.Query, sp *space, fr frontier, x *explorer, spec agg.Spec
 			bestLayer = rq.QScore
 		}
 	}
+	finish := func() *Result {
+		sort.Slice(res.Queries, func(i, j int) bool {
+			if res.Queries[i].QScore != res.Queries[j].QScore {
+				return res.Queries[i].QScore < res.Queries[j].QScore
+			}
+			return res.Queries[i].Err < res.Queries[j].Err
+		})
+		if len(res.Queries) > 0 {
+			res.Satisfied = true
+			res.Best = &res.Queries[0]
+		}
+		res.CellQueries = int(x.cellQueries.Load())
+		res.StoredPoints = x.storedPoints()
+		return res
+	}
+	// fail funnels mid-search errors: cancellation still reports the
+	// partial result (finalised), anything else is a hard error.
+	fail := func(err error) (*Result, error) {
+		if isCancellation(err) {
+			return finish(), err
+		}
+		return nil, err
+	}
 
+search:
 	for {
-		pt, ok := fr.next()
+		if err := ctx.Err(); err != nil {
+			return finish(), err
+		}
+		layer, ok := lf.nextLayer()
 		if !ok {
 			res.Exhausted = len(res.Queries) == 0
 			break
 		}
-		scores := pt.scores(sp.step)
-		qs := opts.Norm.Score(scores)
 
-		// Layer boundary bookkeeping.
-		if qs > layerScore+eps {
-			if monotoneEQ && layerAllOvershoot && !math.IsInf(layerScore, -1) {
-				// Every query of the previous layer overshot a
-				// monotone aggregate: deeper layers only overshoot
-				// more. Stop (§6's repartitioning already probed the
-				// cells).
-				res.Exhausted = len(res.Queries) == 0
-				if res.Note == "" {
-					res.Note = "all queries in a layer overshoot a monotone aggregate; expansion cannot help"
-				}
-				break
+		if monotoneEQ && layerAllOvershoot && !firstLayer {
+			// Every query of the previous layer overshot a monotone
+			// aggregate: deeper layers only overshoot more. Stop (§6's
+			// repartitioning already probed the cells).
+			res.Exhausted = len(res.Queries) == 0
+			if res.Note == "" {
+				res.Note = "all queries in a layer overshoot a monotone aggregate; expansion cannot help"
 			}
-			layerScore = qs
-			layerAllOvershoot = true
+			break
 		}
+		firstLayer = false
+		layerAllOvershoot = true
 
 		// Stop once past the first satisfying layer (Alg. 4's
 		// currRefLayer <= minRefLayer loop condition).
-		if len(res.Queries) > 0 && qs > bestLayer+eps {
+		qs0 := opts.Norm.Score(layer[0].scores(sp.step))
+		if len(res.Queries) > 0 && qs0 > bestLayer+eps {
 			break
 		}
 		if res.Explored >= opts.MaxExplored {
@@ -207,64 +264,84 @@ func runSearch(q *relq.Query, sp *space, fr frontier, x *explorer, spec agg.Spec
 			res.Note = "exploration budget exhausted"
 			break
 		}
-		res.Explored++
 
-		partial, err := x.aggregate(pt)
+		// Dispatch the layer's evaluation-layer queries as one batch,
+		// capped to the remaining exploration budget so the total
+		// executions match the serial search even when the budget
+		// exhausts mid-layer (§5: no region is scanned more than once,
+		// and none is scanned speculatively).
+		pre := layer
+		if budget := opts.MaxExplored - res.Explored; len(pre) > budget {
+			pre = pre[:budget]
+		}
+		layerStart := time.Now()
+		batchWidth, err := x.prefetch(ctx, pre)
 		if err != nil {
-			return nil, err
-		}
-		actual := spec.Final(partial)
-		ev := errFn(target, actual)
-
-		rq := relq.RefinedQuery{
-			Base: q, Scores: scores, QScore: qs, Aggregate: actual, Err: ev,
-		}
-		if ev < closestErr-eps || (math.Abs(ev-closestErr) <= eps && res.Closest != nil && qs < res.Closest.QScore) {
-			closestErr = ev
-			c := rq
-			res.Closest = &c
+			return fail(err)
 		}
 
-		overshoots := agg.Overshoots(q.Constraint, actual, opts.Delta)
-		if !overshoots {
-			layerAllOvershoot = false
-		}
+		for _, pt := range layer {
+			if res.Explored >= opts.MaxExplored {
+				res.Exhausted = true
+				res.Note = "exploration budget exhausted"
+				break search
+			}
+			res.Explored++
+			scores := pt.scores(sp.step)
+			qs := opts.Norm.Score(scores)
 
-		repartitioned := false
-		switch {
-		case ev <= opts.Delta:
-			record(rq)
-		case overshoots:
-			// §6: repartition the cell for b iterations.
-			if sub, found, err := repartition(x, sp, pt, spec, errFn, target, opts, q); err != nil {
-				return nil, err
-			} else if found {
-				record(sub)
-				repartitioned = true
+			partial, err := x.aggregate(ctx, pt)
+			if err != nil {
+				return fail(err)
+			}
+			actual := spec.Final(partial)
+			ev := errFn(target, actual)
+
+			rq := relq.RefinedQuery{
+				Base: q, Scores: scores, QScore: qs, Aggregate: actual, Err: ev,
+			}
+			if ev < closestErr-eps || (math.Abs(ev-closestErr) <= eps && res.Closest != nil && qs < res.Closest.QScore) {
+				closestErr = ev
+				c := rq
+				res.Closest = &c
+			}
+
+			overshoots := agg.Overshoots(q.Constraint, actual, opts.Delta)
+			if !overshoots {
+				layerAllOvershoot = false
+			}
+
+			repartitioned := false
+			switch {
+			case ev <= opts.Delta:
+				record(rq)
+			case overshoots:
+				// §6: repartition the cell for b iterations.
+				if sub, found, err := repartition(ctx, x, sp, pt, spec, errFn, target, opts, q); err != nil {
+					return fail(err)
+				} else if found {
+					record(sub)
+					repartitioned = true
+				}
+			}
+			if opts.Trace != nil {
+				opts.Trace.Event(TraceEvent{
+					Seq: res.Explored - 1, Scores: scores, QScore: qs,
+					Aggregate: actual, Err: ev,
+					Outcome: classify(ev <= opts.Delta, overshoots, repartitioned),
+				})
 			}
 		}
-		if opts.Trace != nil {
-			opts.Trace.Event(TraceEvent{
-				Seq: res.Explored - 1, Scores: scores, QScore: qs,
-				Aggregate: actual, Err: ev,
-				Outcome: classify(ev <= opts.Delta, overshoots, repartitioned),
+		if lt != nil {
+			lt.LayerDone(LayerEvent{
+				Layer: layerIdx, QScore: qs0, Width: len(layer),
+				BatchWidth: batchWidth, Wall: time.Since(layerStart),
 			})
 		}
+		layerIdx++
 	}
 
-	sort.Slice(res.Queries, func(i, j int) bool {
-		if res.Queries[i].QScore != res.Queries[j].QScore {
-			return res.Queries[i].QScore < res.Queries[j].QScore
-		}
-		return res.Queries[i].Err < res.Queries[j].Err
-	})
-	if len(res.Queries) > 0 {
-		res.Satisfied = true
-		res.Best = &res.Queries[0]
-	}
-	res.CellQueries = x.cellQueries
-	res.StoredPoints = x.storedPoints()
-	return res, nil
+	return finish(), nil
 }
 
 // repartition is the §6 overshoot handling: the satisfying refinement
@@ -272,7 +349,7 @@ func runSearch(q *relq.Query, sp *space, fr frontier, x *explorer, spec agg.Spec
 // pt). Binary-search the cell diagonal for b iterations, executing the
 // whole refined query at each probe (off-grid points cannot reuse the
 // sub-aggregate store).
-func repartition(x *explorer, sp *space, pt point, spec agg.Spec, errFn agg.ErrorFunc, target float64, opts Options, q *relq.Query) (relq.RefinedQuery, bool, error) {
+func repartition(ctx context.Context, x *explorer, sp *space, pt point, spec agg.Spec, errFn agg.ErrorFunc, target float64, opts Options, q *relq.Query) (relq.RefinedQuery, bool, error) {
 	if !spec.Monotone() {
 		return relq.RefinedQuery{}, false, nil
 	}
@@ -299,7 +376,7 @@ func repartition(x *explorer, sp *space, pt point, spec agg.Spec, errFn agg.Erro
 	// aggregate is already in the incremental store (Theorem 3) — the
 	// check costs nothing.
 	if x.incremental {
-		cornerParts, err := x.computeAll(corner)
+		cornerParts, err := x.computeAll(ctx, corner)
 		if err != nil {
 			return relq.RefinedQuery{}, false, err
 		}
@@ -310,10 +387,13 @@ func repartition(x *explorer, sp *space, pt point, spec agg.Spec, errFn agg.Erro
 	}
 	mid := make([]float64, len(hi))
 	for iter := 0; iter < opts.RepartitionDepth; iter++ {
+		if err := ctx.Err(); err != nil {
+			return relq.RefinedQuery{}, false, err
+		}
 		for i := range mid {
 			mid[i] = (lo[i] + hi[i]) / 2
 		}
-		partial, err := x.directAggregate(mid)
+		partial, err := x.directAggregate(ctx, mid)
 		if err != nil {
 			return relq.RefinedQuery{}, false, err
 		}

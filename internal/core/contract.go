@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -23,6 +24,13 @@ import (
 // evaluation-layer execution per candidate; the paper makes no
 // performance claims for this extension.
 func Contract(e Evaluator, q *relq.Query, opts Options) (*Result, error) {
+	return ContractContext(context.Background(), e, q, opts)
+}
+
+// ContractContext is Contract with cancellation, checked before every
+// candidate evaluation. On cancellation the partial Result gathered so
+// far is returned together with the context's error.
+func ContractContext(ctx context.Context, e Evaluator, q *relq.Query, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -61,7 +69,19 @@ func Contract(e Evaluator, q *relq.Query, opts Options) (*Result, error) {
 	bestLayer := math.Inf(1)
 	closestErr := math.Inf(1)
 
+	finish := func() *Result {
+		sort.Slice(res.Queries, func(i, j int) bool { return res.Queries[i].QScore < res.Queries[j].QScore })
+		if len(res.Queries) > 0 {
+			res.Satisfied = true
+			res.Best = &res.Queries[0]
+		}
+		return res
+	}
+
 	for {
+		if err := ctx.Err(); err != nil {
+			return finish(), err
+		}
 		pt, ok := fr.next()
 		if !ok {
 			res.Exhausted = len(res.Queries) == 0
@@ -80,10 +100,14 @@ func Contract(e Evaluator, q *relq.Query, opts Options) (*Result, error) {
 		res.Explored++
 
 		contracted, scores := tightenQuery(q, w)
-		partial, err := e.Aggregate(contracted, relq.PrefixRegion(make([]float64, len(q.Dims))))
+		parts, err := e.AggregateBatch(ctx, contracted, []relq.Region{relq.PrefixRegion(make([]float64, len(q.Dims)))})
 		if err != nil {
+			if isCancellation(err) {
+				return finish(), err
+			}
 			return nil, err
 		}
+		partial := parts[0]
 		res.CellQueries++
 		actual := spec.Final(partial)
 		ev := errFn(target, actual)
@@ -102,12 +126,7 @@ func Contract(e Evaluator, q *relq.Query, opts Options) (*Result, error) {
 		}
 	}
 
-	sort.Slice(res.Queries, func(i, j int) bool { return res.Queries[i].QScore < res.Queries[j].QScore })
-	if len(res.Queries) > 0 {
-		res.Satisfied = true
-		res.Best = &res.Queries[0]
-	}
-	return res, nil
+	return finish(), nil
 }
 
 // tightenQuery clones q with every dimension's bound contracted by

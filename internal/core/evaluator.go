@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"acquire/internal/agg"
 	"acquire/internal/data"
 	"acquire/internal/relq"
@@ -20,10 +22,17 @@ import (
 //   - histogram.Evaluator — scan-free COUNT estimation from per-column
 //     equi-depth histograms under the independence assumption.
 //
-// Aggregate must treat the region exactly as exec.Engine.Aggregate
-// documents; Catalog provides the attribute statistics the refined
+// AggregateBatch is the primary entry point: it evaluates one region
+// per output slot, out[i] corresponding to regions[i], and may execute
+// the regions concurrently. Implementations must be deterministic —
+// the partial returned for a region must not depend on worker count or
+// scheduling — and must stop early (returning ctx.Err()) when the
+// context is cancelled. Aggregate is the single-region convenience
+// form; both must treat a region exactly as exec.Engine.Aggregate
+// documents. Catalog provides the attribute statistics the refined
 // space geometry needs.
 type Evaluator interface {
 	Aggregate(q *relq.Query, region relq.Region) (agg.Partial, error)
+	AggregateBatch(ctx context.Context, q *relq.Query, regions []relq.Region) ([]agg.Partial, error)
 	Catalog() *data.Catalog
 }

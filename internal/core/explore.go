@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"acquire/internal/agg"
 	"acquire/internal/relq"
@@ -10,6 +12,13 @@ import (
 // explorer is the Explore phase (§5): it computes the aggregate of each
 // grid query, either incrementally (Algorithm 3) or naively (whole-query
 // re-execution, the ablation baseline).
+//
+// The driver feeds it one Expand layer at a time: prefetch dispatches
+// the layer's unique cell sub-queries (mutually disjoint, so the
+// evaluation layer may execute them concurrently) as one batch, then
+// the per-point Eq. 17 recurrence folds serially from the cache — the
+// fold order, and therefore the float association of every partial, is
+// identical to the fully serial search.
 type explorer struct {
 	engine Evaluator
 	q      *relq.Query
@@ -20,10 +29,17 @@ type explorer struct {
 	// store maps point key -> the d+1 sub-query partials
 	// [O1 (cell), O2 (pillar), ..., Od+1 (whole query)] of §5.1.1.
 	store map[string][]agg.Partial
+	// cache maps point key -> the prefetched batch result for the
+	// point: its cell partial in incremental mode, its whole-query
+	// partial in naive mode. Entries are consumed (deleted) on first
+	// use; the store memoizes everything that must persist.
+	cache map[string]agg.Partial
 
 	// cellQueries counts evaluation-layer round trips (cell executions
 	// in incremental mode, whole-query executions in naive mode).
-	cellQueries int
+	// Atomic: sessions may run searches concurrently and the snapshot
+	// in Result must be race-free.
+	cellQueries atomic.Int64
 }
 
 func newExplorer(e Evaluator, q *relq.Query, sp *space, spec agg.Spec, incremental bool) *explorer {
@@ -34,21 +50,90 @@ func newExplorer(e Evaluator, q *relq.Query, sp *space, spec agg.Spec, increment
 		spec:        spec,
 		incremental: incremental,
 		store:       make(map[string][]agg.Partial),
+		cache:       make(map[string]agg.Partial),
 	}
+}
+
+// prefetch dispatches the evaluation-layer queries of an Expand layer
+// as one batch: the cell sub-queries in incremental mode, the whole
+// refined queries in naive mode. Points whose result is already stored
+// or cached are skipped, so every region is fetched at most once —
+// exactly the executions the serial search would have issued, just
+// batched. Returns the batch width (number of regions dispatched).
+func (x *explorer) prefetch(ctx context.Context, pts []point) (int, error) {
+	keys := make([]string, 0, len(pts))
+	regions := make([]relq.Region, 0, len(pts))
+	for _, p := range pts {
+		k := p.key()
+		if x.incremental {
+			if _, ok := x.store[k]; ok {
+				continue
+			}
+		}
+		if _, ok := x.cache[k]; ok {
+			continue
+		}
+		keys = append(keys, k)
+		if x.incremental {
+			regions = append(regions, relq.CellRegion(p, x.sp.step))
+		} else {
+			regions = append(regions, relq.PrefixRegion(p.scores(x.sp.step)))
+		}
+	}
+	if len(regions) == 0 {
+		return 0, nil
+	}
+	parts, err := x.engine.AggregateBatch(ctx, x.q, regions)
+	if err != nil {
+		return 0, err
+	}
+	x.cellQueries.Add(int64(len(regions)))
+	for i, k := range keys {
+		x.cache[k] = parts[i]
+	}
+	return len(regions), nil
 }
 
 // aggregate returns the aggregate partial of the whole refined query at
 // grid point p.
-func (x *explorer) aggregate(p point) (agg.Partial, error) {
+func (x *explorer) aggregate(ctx context.Context, p point) (agg.Partial, error) {
 	if !x.incremental {
-		x.cellQueries++
-		return x.engine.Aggregate(x.q, relq.PrefixRegion(p.scores(x.sp.step)))
+		k := p.key()
+		if part, ok := x.cache[k]; ok {
+			delete(x.cache, k)
+			return part, nil
+		}
+		x.cellQueries.Add(1)
+		return x.evalOne(ctx, relq.PrefixRegion(p.scores(x.sp.step)))
 	}
-	parts, err := x.computeAll(p)
+	parts, err := x.computeAll(ctx, p)
 	if err != nil {
 		return agg.Zero(), err
 	}
 	return parts[x.sp.dims], nil
+}
+
+// evalOne executes a single region through the batched entry point so
+// cancellation reaches every evaluation-layer round trip.
+func (x *explorer) evalOne(ctx context.Context, r relq.Region) (agg.Partial, error) {
+	parts, err := x.engine.AggregateBatch(ctx, x.q, []relq.Region{r})
+	if err != nil {
+		return agg.Zero(), err
+	}
+	return parts[0], nil
+}
+
+// cellPartial returns the cell sub-query O1 at p, consuming the
+// prefetched cache when possible and falling back to an on-demand
+// execution otherwise.
+func (x *explorer) cellPartial(ctx context.Context, p point) (agg.Partial, error) {
+	k := p.key()
+	if part, ok := x.cache[k]; ok {
+		delete(x.cache, k)
+		return part, nil
+	}
+	x.cellQueries.Add(1)
+	return x.evalOne(ctx, relq.CellRegion(p, x.sp.step))
 }
 
 // computeAll is Algorithm 3 (ComputeAggregate): execute only the cell
@@ -59,60 +144,83 @@ func (x *explorer) aggregate(p point) (agg.Partial, error) {
 // reading O_i(u - e_{i-1}) from the store. The Expand phase guarantees
 // (Theorem 3) every contained grid query was explored first; points
 // reachable only through ties under exotic norms fall back to on-demand
-// recursive computation, preserving correctness.
-func (x *explorer) computeAll(p point) ([]agg.Partial, error) {
+// computation, preserving correctness.
+//
+// The traversal is an explicit worklist, not recursion: predecessor
+// chains are as long as the grid diagonal, and unbounded recursion
+// overflows the stack long before MaxExplored is reached.
+func (x *explorer) computeAll(ctx context.Context, p point) ([]agg.Partial, error) {
 	if parts, ok := x.store[p.key()]; ok {
 		return parts, nil
 	}
 	d := x.sp.dims
-	parts := make([]agg.Partial, d+1)
-
-	// O1: the cell — the only sub-query unique to this point (§5.1.1
-	// observation 1).
-	cell, err := x.engine.Aggregate(x.q, relq.CellRegion(p, x.sp.step))
-	if err != nil {
-		return nil, err
-	}
-	x.cellQueries++
-	parts[0] = cell
-
-	for i := 1; i <= d; i++ {
-		// GetPreviousNeighbour(i-1): decrement dimension i-1.
-		var prevPart agg.Partial
-		if p[i-1] == 0 {
-			// The neighbour lies outside the grid: its region is
-			// empty, its aggregate the identity (DESIGN.md §5.2).
-			prevPart = agg.Zero()
-		} else {
-			prev := p.clone()
-			prev[i-1]--
-			prevParts, err := x.computeAll(prev)
-			if err != nil {
-				return nil, err
-			}
-			prevPart = prevParts[i]
+	stack := []point{p}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		if _, done := x.store[cur.key()]; done {
+			stack = stack[:len(stack)-1]
+			continue
 		}
-		parts[i] = agg.Merge(parts[i-1], prevPart)
+		// Push every missing predecessor; revisit cur once they exist.
+		missing := false
+		for i := 0; i < d; i++ {
+			if cur[i] == 0 {
+				continue
+			}
+			prev := cur.clone()
+			prev[i]--
+			if _, ok := x.store[prev.key()]; !ok {
+				stack = append(stack, prev)
+				missing = true
+			}
+		}
+		if missing {
+			continue
+		}
+		parts := make([]agg.Partial, d+1)
+		// O1: the cell — the only sub-query unique to this point
+		// (§5.1.1 observation 1).
+		cell, err := x.cellPartial(ctx, cur)
+		if err != nil {
+			return nil, err
+		}
+		parts[0] = cell
+		for i := 1; i <= d; i++ {
+			// GetPreviousNeighbour(i-1): decrement dimension i-1. A
+			// neighbour outside the grid has an empty region, so its
+			// aggregate is the identity (DESIGN.md §5.2).
+			prevPart := agg.Zero()
+			if cur[i-1] > 0 {
+				prev := cur.clone()
+				prev[i-1]--
+				prevPart = x.store[prev.key()][i]
+			}
+			parts[i] = agg.Merge(parts[i-1], prevPart)
+		}
+		x.store[cur.key()] = parts
+		stack = stack[:len(stack)-1]
 	}
-	x.store[p.key()] = parts
-	return parts, nil
+	return x.store[p.key()], nil
 }
 
 // directAggregate executes the whole refined query at an arbitrary
 // (possibly off-grid) score vector — used by cell repartitioning, which
 // probes points between grid layers (§6).
-func (x *explorer) directAggregate(scores []float64) (agg.Partial, error) {
-	x.cellQueries++
-	return x.engine.Aggregate(x.q, relq.PrefixRegion(scores))
+func (x *explorer) directAggregate(ctx context.Context, scores []float64) (agg.Partial, error) {
+	x.cellQueries.Add(1)
+	return x.evalOne(ctx, relq.PrefixRegion(scores))
 }
 
 // storedPoints reports how many grid points hold cached sub-aggregates.
 func (x *explorer) storedPoints() int { return len(x.store) }
 
 // verifyAgainstDirect cross-checks the incremental aggregate at p with
-// a direct whole-query execution; testing hook.
+// a direct whole-query execution; testing hook. The full partial is
+// compared: Count/Min/Max exactly, Sum and the UDA summary within a
+// relative tolerance (the recurrence associates float additions
+// differently than a single scan).
 func (x *explorer) verifyAgainstDirect(p point) error {
-	inc, err := x.aggregate(p)
+	inc, err := x.aggregate(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -120,8 +228,8 @@ func (x *explorer) verifyAgainstDirect(p point) error {
 	if err != nil {
 		return err
 	}
-	if inc.Count != direct.Count {
-		return fmt.Errorf("core: incremental count %d != direct %d at %v", inc.Count, direct.Count, p)
+	if !agg.ApproxEqual(inc, direct, 1e-9) {
+		return fmt.Errorf("core: incremental partial %+v != direct %+v at %v", inc, direct, p)
 	}
 	return nil
 }

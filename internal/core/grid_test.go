@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -261,20 +262,21 @@ func TestCellQueryAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := newExplorer(e, q, sp, spec, true)
+	ctx := context.Background()
 	for u := 0; u < 5; u++ {
-		if _, err := x.aggregate(point{u}); err != nil {
+		if _, err := x.aggregate(ctx, point{u}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if x.cellQueries != 5 {
-		t.Errorf("cellQueries = %d, want 5", x.cellQueries)
+	if n := x.cellQueries.Load(); n != 5 {
+		t.Errorf("cellQueries = %d, want 5", n)
 	}
 	// Re-asking a stored point costs nothing.
-	if _, err := x.aggregate(point{3}); err != nil {
+	if _, err := x.aggregate(ctx, point{3}); err != nil {
 		t.Fatal(err)
 	}
-	if x.cellQueries != 5 {
-		t.Errorf("cellQueries after repeat = %d, want 5", x.cellQueries)
+	if n := x.cellQueries.Load(); n != 5 {
+		t.Errorf("cellQueries after repeat = %d, want 5", n)
 	}
 	if x.storedPoints() != 5 {
 		t.Errorf("storedPoints = %d, want 5", x.storedPoints())

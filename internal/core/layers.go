@@ -1,0 +1,58 @@
+package core
+
+// layerEps is the QScore tolerance that delimits a layer; it matches
+// the driver's layer-boundary epsilon so the batched search groups
+// points exactly where the serial search saw a boundary.
+const layerEps = 1e-9
+
+// layerFrontier adapts a point-at-a-time frontier into a
+// layer-at-a-time one: nextLayer returns every pending point whose
+// QScore ties the head of the frontier (within layerEps). Frontiers
+// emit points in non-decreasing score order (Theorem 2), so a layer is
+// a contiguous run and buffering at most one lookahead point suffices.
+//
+// Within a layer the original frontier order is preserved — under L∞
+// (and tie-heavy custom norms) a layer can contain points that contain
+// one another, and the Explore recurrence needs the containment-
+// consistent order the frontier guarantees.
+type layerFrontier struct {
+	fr    frontier
+	score func(point) float64
+	// ahead holds the first point of the next layer, popped while
+	// detecting the current layer's end.
+	ahead    point
+	hasAhead bool
+}
+
+func newLayerFrontier(fr frontier, score func(point) float64) *layerFrontier {
+	return &layerFrontier{fr: fr, score: score}
+}
+
+// nextLayer returns the next full layer of grid points, or ok=false
+// when the space is exhausted.
+func (lf *layerFrontier) nextLayer() ([]point, bool) {
+	var first point
+	if lf.hasAhead {
+		first, lf.hasAhead = lf.ahead, false
+		lf.ahead = nil
+	} else {
+		p, ok := lf.fr.next()
+		if !ok {
+			return nil, false
+		}
+		first = p
+	}
+	layer := []point{first}
+	base := lf.score(first)
+	for {
+		p, ok := lf.fr.next()
+		if !ok {
+			return layer, true
+		}
+		if lf.score(p) > base+layerEps {
+			lf.ahead, lf.hasAhead = p, true
+			return layer, true
+		}
+		layer = append(layer, p)
+	}
+}

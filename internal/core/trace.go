@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"acquire/internal/relq"
 )
@@ -33,13 +34,46 @@ type Tracer interface {
 	Event(ev TraceEvent)
 }
 
+// LayerEvent summarises one Expand layer of the batched search: how
+// wide the layer was, how many evaluation-layer queries the batch
+// dispatched (already-stored points are skipped, so BatchWidth <=
+// Width), and the wall-clock time the layer took end to end. These
+// events make the batch parallelism observable without profiling.
+type LayerEvent struct {
+	// Layer is the 0-based layer index in exploration order.
+	Layer int
+	// QScore is the layer's refinement score (the score of its first
+	// point).
+	QScore float64
+	// Width is the number of grid points in the layer.
+	Width int
+	// BatchWidth is the number of regions dispatched in the layer's
+	// prefetch batch.
+	BatchWidth int
+	// Wall is the elapsed wall-clock time for the whole layer
+	// (prefetch + recurrence folds + repartitioning).
+	Wall time.Duration
+}
+
+// LayerTracer is an optional extension of Tracer: implementations also
+// receive one LayerEvent per Expand layer.
+type LayerTracer interface {
+	Tracer
+	LayerDone(ev LayerEvent)
+}
+
 // TraceBuffer is a Tracer that records every event.
 type TraceBuffer struct {
 	Events []TraceEvent
+	// Layers records per-layer batch events (LayerTracer).
+	Layers []LayerEvent
 }
 
 // Event implements Tracer.
 func (t *TraceBuffer) Event(ev TraceEvent) { t.Events = append(t.Events, ev) }
+
+// LayerDone implements LayerTracer.
+func (t *TraceBuffer) LayerDone(ev LayerEvent) { t.Layers = append(t.Layers, ev) }
 
 // WriteTo renders the trace as an aligned table.
 func (t *TraceBuffer) WriteTo(w io.Writer) (int64, error) {

@@ -3,6 +3,7 @@ package data
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Table is an immutable-after-load, append-only columnar table. Numeric
@@ -20,8 +21,10 @@ type Table struct {
 
 	// stats are lazily computed min/max per numeric ordinal; ACQUIRE
 	// needs attribute domains to anchor predicate intervals (§2.2:
-	// "if the minimum value of B.y is 0 ...").
-	stats map[int]ColumnStats
+	// "if the minimum value of B.y is 0 ..."). statsMu guards the lazy
+	// fill — concurrent refinement searches share one catalog.
+	statsMu sync.Mutex
+	stats   map[int]ColumnStats
 }
 
 // ColumnStats holds the domain statistics the refinement model needs.
@@ -96,7 +99,9 @@ func (t *Table) AppendRow(vals ...Value) error {
 		}
 	}
 	t.rows++
+	t.statsMu.Lock()
 	t.stats = make(map[int]ColumnStats) // invalidate
+	t.statsMu.Unlock()
 	return nil
 }
 
@@ -170,6 +175,8 @@ func (t *Table) ValueAt(row, ordinal int) Value {
 // Stats returns min/max/distinct for a numeric column, computing and
 // caching on first use. An empty table yields zero stats.
 func (t *Table) Stats(ordinal int) (ColumnStats, error) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
 	if s, ok := t.stats[ordinal]; ok {
 		return s, nil
 	}

@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"acquire/internal/agg"
+	"acquire/internal/relq"
+)
+
+// AggregateBatch executes the query restricted to each region and
+// returns one partial per region, out[i] corresponding to regions[i].
+//
+// The regions are independent (ACQUIRE's cell sub-queries are mutually
+// disjoint), so they are dispatched to a worker pool bounded by the
+// engine's Parallelism (default GOMAXPROCS). The query is bound once;
+// each region then runs exactly the same per-region code as Aggregate,
+// so results are deterministic — identical for every worker count.
+// Cancellation is checked before each region; on cancellation or the
+// first region error the pool drains and the error is returned.
+func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []relq.Region) ([]agg.Partial, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b, err := e.bind(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]agg.Partial, len(regions))
+	w := e.workers()
+	if w > len(regions) {
+		w = len(regions)
+	}
+	if w <= 1 {
+		for i := range regions {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p, err := e.aggregateBound(b, regions[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(regions) || failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				p, err := e.aggregateBound(b, regions[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

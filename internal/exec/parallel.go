@@ -3,6 +3,7 @@ package exec
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"acquire/internal/agg"
 )
@@ -123,26 +124,64 @@ func (e *Engine) parallelFilterRows(cands []int32, verify func(r int32) bool) []
 	return out
 }
 
+// foldChunk is the fixed chunk length of parallelFold. It is a
+// constant (not a function of worker count) so the merge tree — and
+// therefore the float association of SUM/AVG — depends only on the
+// input size, making fold results bit-identical across worker counts.
+const foldChunk = parallelThreshold / 2
+
+// fixedChunks splits [0, n) into contiguous ranges of length size
+// (the last may be shorter).
+func fixedChunks(n, size int) [][2]int {
+	out := make([][2]int, 0, n/size+1)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
 // parallelFold folds chunk aggregates of [0, ntup) and merges them in
-// chunk order (deterministic float summation independent of scheduling;
-// results differ from a strictly sequential fold only by a fixed,
-// chunk-shaped association of additions).
+// chunk order. Chunk boundaries are a function of ntup alone and the
+// merge order is fixed, so the result is deterministic: identical for
+// every worker count and scheduling (results differ from a strictly
+// sequential fold only by a fixed, chunk-shaped association of
+// additions).
 func (e *Engine) parallelFold(ntup int, fold func(lo, hi int) agg.Partial) agg.Partial {
-	w := e.workers()
-	if w == 1 || ntup < parallelThreshold {
+	if ntup < parallelThreshold {
 		return fold(0, ntup)
 	}
-	parts := chunks(ntup, w)
+	parts := fixedChunks(ntup, foldChunk)
 	partials := make([]agg.Partial, len(parts))
-	var wg sync.WaitGroup
-	for ci, c := range parts {
-		wg.Add(1)
-		go func(ci, lo, hi int) {
-			defer wg.Done()
-			partials[ci] = fold(lo, hi)
-		}(ci, c[0], c[1])
+	w := e.workers()
+	if w > len(parts) {
+		w = len(parts)
 	}
-	wg.Wait()
+	if w == 1 {
+		for ci, c := range parts {
+			partials[ci] = fold(c[0], c[1])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					if ci >= len(parts) {
+						return
+					}
+					partials[ci] = fold(parts[ci][0], parts[ci][1])
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	out := agg.Zero()
 	for _, p := range partials {
 		out = agg.Merge(out, p)

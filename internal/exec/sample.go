@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -69,17 +70,37 @@ func (s *Sampled) Fraction() float64 { return s.fraction }
 // FullCatalog returns the unsampled catalog the sample was drawn from.
 func (s *Sampled) FullCatalog() *data.Catalog { return s.full }
 
+// extrapolate scales the extensive aggregates of a sample partial by
+// the inverse joint inclusion probability across independently sampled
+// tables.
+func (s *Sampled) extrapolate(p *agg.Partial, q *relq.Query) {
+	joint := math.Pow(s.fraction, float64(len(q.Tables)))
+	scale := 1 / joint
+	p.Count = int64(math.Round(float64(p.Count) * scale))
+	p.Sum *= scale
+	p.User *= scale
+}
+
 // Aggregate executes over the sample and extrapolates.
 func (s *Sampled) Aggregate(q *relq.Query, region relq.Region) (agg.Partial, error) {
 	p, err := s.Engine.Aggregate(q, region)
 	if err != nil {
 		return agg.Zero(), err
 	}
-	// Joint inclusion probability across independently sampled tables.
-	joint := math.Pow(s.fraction, float64(len(q.Tables)))
-	scale := 1 / joint
-	p.Count = int64(math.Round(float64(p.Count) * scale))
-	p.Sum *= scale
-	p.User *= scale
+	s.extrapolate(&p, q)
 	return p, nil
+}
+
+// AggregateBatch executes the batch over the sample and extrapolates
+// every partial. It must shadow the embedded Engine's method — the
+// embedded form would return raw sample counts.
+func (s *Sampled) AggregateBatch(ctx context.Context, q *relq.Query, regions []relq.Region) ([]agg.Partial, error) {
+	parts, err := s.Engine.AggregateBatch(ctx, q, regions)
+	if err != nil {
+		return nil, err
+	}
+	for i := range parts {
+		s.extrapolate(&parts[i], q)
+	}
+	return parts, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -18,7 +19,7 @@ import (
 // and its *true* relative error reported — the metric a user actually
 // experiences. (Figure 10.a's 1K point "mimic[s] a sample based
 // approach"; this study implements the real mechanism.)
-func EvaluationLayerStudy(cfg Config) ([]Figure, error) {
+func EvaluationLayerStudy(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	e, err := usersEngine(cfg)
 	if err != nil {
@@ -60,7 +61,7 @@ func EvaluationLayerStudy(cfg Config) ([]Figure, error) {
 				return nil, err
 			}
 			start := time.Now()
-			res, err := core.Run(layer.ev, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+			res, err := core.RunContext(ctx, layer.ev, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
 			elapsed := time.Since(start)
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strconv"
 
 	"acquire/internal/core"
@@ -20,7 +21,7 @@ var errMethods = []string{"ACQUIRE", "TQGen", "BinSearch"} // Top-k has no error
 // Figure8 reproduces Figures 8.a-8.c: 3 flexible predicates, δ=0.05,
 // aggregate ratio 0.1-0.9, all four methods; reports execution time,
 // relative aggregate error and refinement score.
-func Figure8(cfg Config) ([]Figure, error) {
+func Figure8(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	e, err := usersEngine(cfg)
 	if err != nil {
@@ -29,7 +30,7 @@ func Figure8(cfg Config) ([]Figure, error) {
 	var rows []map[string]Measurement
 	var xs []float64
 	for _, r := range Ratios {
-		row, err := compareAll(e, cfg, 3, r)
+		row, err := compareAll(ctx, e, cfg, 3, r)
 		if err != nil {
 			return nil, err
 		}
@@ -48,7 +49,7 @@ func Figure8(cfg Config) ([]Figure, error) {
 
 // Figure9 reproduces Figures 9.a-9.c: ratio 0.3, 1-5 flexible
 // predicates.
-func Figure9(cfg Config) ([]Figure, error) {
+func Figure9(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	e, err := usersEngine(cfg)
 	if err != nil {
@@ -57,7 +58,7 @@ func Figure9(cfg Config) ([]Figure, error) {
 	var rows []map[string]Measurement
 	var xs []float64
 	for _, d := range DimCounts {
-		row, err := compareAll(e, cfg, d, 0.3)
+		row, err := compareAll(ctx, e, cfg, d, 0.3)
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +81,7 @@ var TableSizes = []int{1000, 10000, 100000}
 
 // Figure10a reproduces Figure 10.a: execution time vs table size, all
 // four methods, ratio 0.3, 3 predicates.
-func Figure10a(cfg Config, sizes []int) ([]Figure, error) {
+func Figure10a(ctx context.Context, cfg Config, sizes []int) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	if sizes == nil {
 		sizes = TableSizes
@@ -94,7 +95,7 @@ func Figure10a(cfg Config, sizes []int) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		row, err := compareAll(e, c, 3, 0.3)
+		row, err := compareAll(ctx, e, c, 3, 0.3)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +114,7 @@ var Gammas = []float64{2, 4, 6, 8, 10, 12}
 // Figure10b reproduces Figure 10.b: ACQUIRE execution time vs the
 // refinement threshold γ. Smaller γ means a finer grid — more queries
 // to reach the same aggregate — so time grows as γ shrinks.
-func Figure10b(cfg Config) ([]Figure, error) {
+func Figure10b(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	e, err := usersEngine(cfg)
 	if err != nil {
@@ -127,7 +128,7 @@ func Figure10b(cfg Config) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunACQUIRE(e, q, core.Options{Gamma: g, Delta: cfg.Delta})
+		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: g, Delta: cfg.Delta})
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +147,7 @@ var Deltas = []float64{0.0001, 0.001, 0.01, 0.1}
 // Figure10c reproduces Figure 10.c: ACQUIRE execution time vs the
 // aggregate (cardinality) threshold δ. Stricter thresholds force more
 // repartitioning and deeper exploration.
-func Figure10c(cfg Config) ([]Figure, error) {
+func Figure10c(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	e, err := usersEngine(cfg)
 	if err != nil {
@@ -160,7 +161,7 @@ func Figure10c(cfg Config) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunACQUIRE(e, q, core.Options{Gamma: cfg.Gamma, Delta: d, RepartitionDepth: 12})
+		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: d, RepartitionDepth: 12})
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +177,7 @@ func Figure10c(cfg Config) ([]Figure, error) {
 // Figure11 reproduces Figures 11.a-11.b: ACQUIRE on SUM, COUNT and MAX
 // constraints over the TPC-H skeleton (Q2 of Example 2), ratio sweep;
 // MIN is omitted as MAX(-attribute) (§8.4.6).
-func Figure11(cfg Config) ([]Figure, error) {
+func Figure11(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	e, err := tpchEngine(cfg)
 	if err != nil {
@@ -202,7 +203,7 @@ func Figure11(cfg Config) ([]Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, err := RunACQUIRE(e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+			m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
 			if err != nil {
 				return nil, err
 			}
@@ -217,7 +218,7 @@ func Figure11(cfg Config) ([]Figure, error) {
 
 // SkewStudy reproduces §8.4.4: the Figure-8-style ratio sweep re-run on
 // Zipf Z=1 data; the paper reports "trends in results were same".
-func SkewStudy(cfg Config) ([]Figure, error) {
+func SkewStudy(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	out := make([]Figure, 0, 2)
 	for _, z := range []float64{0, 1} {
@@ -229,7 +230,7 @@ func SkewStudy(cfg Config) ([]Figure, error) {
 		}
 		var rows []map[string]Measurement
 		for _, r := range Ratios {
-			row, err := compareAll(e, c, 3, r)
+			row, err := compareAll(ctx, e, c, 3, r)
 			if err != nil {
 				return nil, err
 			}
@@ -250,7 +251,7 @@ func SkewStudy(cfg Config) ([]Figure, error) {
 
 // JoinRefinementStudy exercises the capability no baseline has
 // (Table 1): refining a join predicate. ACQUIRE only.
-func JoinRefinementStudy(cfg Config) ([]Figure, error) {
+func JoinRefinementStudy(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	e, err := tpchEngine(cfg)
 	if err != nil {
@@ -264,7 +265,7 @@ func JoinRefinementStudy(cfg Config) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunACQUIRE(e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
 		if err != nil {
 			return nil, err
 		}
@@ -284,7 +285,7 @@ func JoinRefinementStudy(cfg Config) ([]Figure, error) {
 // without incremental aggregate computation, ratio sweep. The workload
 // is the three-table TPC-H skeleton, where re-executing each refined
 // query whole repeats the join work the incremental store shares.
-func AblationIncremental(cfg Config) ([]Figure, error) {
+func AblationIncremental(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	e, err := tpchEngine(cfg)
 	if err != nil {
@@ -299,12 +300,12 @@ func AblationIncremental(cfg Config) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunACQUIRE(e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
 		if err != nil {
 			return nil, err
 		}
 		inc.Y[i] = m.Millis
-		m, err = RunACQUIRE(e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta, NoIncremental: true})
+		m, err = RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta, NoIncremental: true})
 		if err != nil {
 			return nil, err
 		}
@@ -325,7 +326,7 @@ func AblationIncremental(cfg Config) ([]Figure, error) {
 // the sparse integer tail with sub-year cells. The x-axis is the count
 // multiplier demanded of the original query; the third series is the
 // fraction of cell queries the index answered without scanning.
-func AblationGridIndex(cfg Config) ([]Figure, error) {
+func AblationGridIndex(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	c := cfg
 	c.Zipf = 1
@@ -363,7 +364,7 @@ func AblationGridIndex(cfg Config) ([]Figure, error) {
 		}
 		opts := core.Options{Gamma: 0.5, Delta: 0.01} // step = 0.5 score units ≈ 0.3 years
 
-		m, err := RunACQUIRE(e, q, opts)
+		m, err := RunACQUIRE(ctx, e, q, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -373,7 +374,7 @@ func AblationGridIndex(cfg Config) ([]Figure, error) {
 			return nil, err
 		}
 		before := e.Snapshot()
-		m, err = RunACQUIRE(e, q, opts)
+		m, err = RunACQUIRE(ctx, e, q, opts)
 		if err != nil {
 			return nil, err
 		}

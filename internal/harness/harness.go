@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -113,11 +114,13 @@ func tpchEngine(cfg Config) (*exec.Engine, error) {
 	return exec.New(cat), nil
 }
 
-// RunACQUIRE measures one ACQUIRE execution.
-func RunACQUIRE(e *exec.Engine, q *relq.Query, opts core.Options) (Measurement, error) {
+// RunACQUIRE measures one ACQUIRE execution. The context cancels the
+// search mid-flight (every runner threads it down to the evaluation
+// layer, so acqbench's signal handling interrupts real work).
+func RunACQUIRE(ctx context.Context, e *exec.Engine, q *relq.Query, opts core.Options) (Measurement, error) {
 	before := e.Snapshot()
 	start := time.Now()
-	res, err := core.Run(e, q, opts)
+	res, err := core.RunContext(ctx, e, q, opts)
 	elapsed := time.Since(start)
 	if err != nil {
 		return Measurement{}, err
@@ -143,9 +146,9 @@ func RunACQUIRE(e *exec.Engine, q *relq.Query, opts core.Options) (Measurement, 
 }
 
 // RunTopK measures the Top-k baseline.
-func RunTopK(e *exec.Engine, q *relq.Query) (Measurement, error) {
+func RunTopK(ctx context.Context, e *exec.Engine, q *relq.Query) (Measurement, error) {
 	start := time.Now()
-	out, err := baseline.TopK(e, q)
+	out, err := baseline.TopKContext(ctx, e, q)
 	elapsed := time.Since(start)
 	if err != nil {
 		return Measurement{}, err
@@ -154,9 +157,9 @@ func RunTopK(e *exec.Engine, q *relq.Query) (Measurement, error) {
 }
 
 // RunBinSearch measures the BinSearch baseline.
-func RunBinSearch(e *exec.Engine, q *relq.Query, delta float64) (Measurement, error) {
+func RunBinSearch(ctx context.Context, e *exec.Engine, q *relq.Query, delta float64) (Measurement, error) {
 	start := time.Now()
-	out, err := baseline.BinSearch(e, q, baseline.BinSearchOptions{Delta: delta})
+	out, err := baseline.BinSearchContext(ctx, e, q, baseline.BinSearchOptions{Delta: delta})
 	elapsed := time.Since(start)
 	if err != nil {
 		return Measurement{}, err
@@ -165,9 +168,9 @@ func RunBinSearch(e *exec.Engine, q *relq.Query, delta float64) (Measurement, er
 }
 
 // RunTQGen measures the TQGen baseline.
-func RunTQGen(e *exec.Engine, q *relq.Query, cfg Config) (Measurement, error) {
+func RunTQGen(ctx context.Context, e *exec.Engine, q *relq.Query, cfg Config) (Measurement, error) {
 	start := time.Now()
-	out, err := baseline.TQGen(e, q, baseline.TQGenOptions{
+	out, err := baseline.TQGenContext(ctx, e, q, baseline.TQGenOptions{
 		Delta: cfg.Delta, GridK: cfg.TQGenGridK, Rounds: cfg.TQGenRounds,
 	})
 	elapsed := time.Since(start)
@@ -202,7 +205,7 @@ func acquireOpts(cfg Config) core.Options {
 }
 
 // compareAll runs all four methods on a freshly calibrated Users query.
-func compareAll(e *exec.Engine, cfg Config, dims int, ratio float64) (map[string]Measurement, error) {
+func compareAll(ctx context.Context, e *exec.Engine, cfg Config, dims int, ratio float64) (map[string]Measurement, error) {
 	out := make(map[string]Measurement, 4)
 
 	build := func() (*relq.Query, error) {
@@ -215,7 +218,7 @@ func compareAll(e *exec.Engine, cfg Config, dims int, ratio float64) (map[string
 	if err != nil {
 		return nil, err
 	}
-	m, err := RunACQUIRE(e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+	m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +227,7 @@ func compareAll(e *exec.Engine, cfg Config, dims int, ratio float64) (map[string
 	if q, err = build(); err != nil {
 		return nil, err
 	}
-	if m, err = RunTopK(e, q); err != nil {
+	if m, err = RunTopK(ctx, e, q); err != nil {
 		return nil, err
 	}
 	out["Top-k"] = m
@@ -232,7 +235,7 @@ func compareAll(e *exec.Engine, cfg Config, dims int, ratio float64) (map[string
 	if q, err = build(); err != nil {
 		return nil, err
 	}
-	if m, err = RunTQGen(e, q, cfg); err != nil {
+	if m, err = RunTQGen(ctx, e, q, cfg); err != nil {
 		return nil, err
 	}
 	out["TQGen"] = m
@@ -240,7 +243,7 @@ func compareAll(e *exec.Engine, cfg Config, dims int, ratio float64) (map[string
 	if q, err = build(); err != nil {
 		return nil, err
 	}
-	if m, err = RunBinSearch(e, q, cfg.Delta); err != nil {
+	if m, err = RunBinSearch(ctx, e, q, cfg.Delta); err != nil {
 		return nil, err
 	}
 	out["BinSearch"] = m

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func tinyCfg() Config {
 }
 
 func TestFigure8ShapesHold(t *testing.T) {
-	figs, err := Figure8(tinyCfg())
+	figs, err := Figure8(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatalf("Figure8: %v", err)
 	}
@@ -74,7 +75,7 @@ func TestFigure8ShapesHold(t *testing.T) {
 func TestFigure9ExponentialTQGen(t *testing.T) {
 	cfg := tinyCfg()
 	cfg.Rows = 2000
-	figs, err := Figure9(cfg)
+	figs, err := Figure9(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Figure9: %v", err)
 	}
@@ -101,7 +102,7 @@ func TestFigure9ExponentialTQGen(t *testing.T) {
 
 func TestFigure10Axes(t *testing.T) {
 	cfg := tinyCfg()
-	figs, err := Figure10a(cfg, []int{500, 2000})
+	figs, err := Figure10a(context.Background(), cfg, []int{500, 2000})
 	if err != nil {
 		t.Fatalf("Figure10a: %v", err)
 	}
@@ -109,7 +110,7 @@ func TestFigure10Axes(t *testing.T) {
 		t.Errorf("10.a x = %v", figs[0].X)
 	}
 
-	figs, err = Figure10b(cfg)
+	figs, err = Figure10b(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Figure10b: %v", err)
 	}
@@ -117,7 +118,7 @@ func TestFigure10Axes(t *testing.T) {
 		t.Errorf("10.b x = %v", figs[0].X)
 	}
 
-	figs, err = Figure10c(cfg)
+	figs, err = Figure10c(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Figure10c: %v", err)
 	}
@@ -128,7 +129,7 @@ func TestFigure10Axes(t *testing.T) {
 
 func TestFigure11AllAggregates(t *testing.T) {
 	cfg := tinyCfg()
-	figs, err := Figure11(cfg)
+	figs, err := Figure11(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Figure11: %v", err)
 	}
@@ -146,7 +147,7 @@ func TestFigure11AllAggregates(t *testing.T) {
 
 func TestSkewAndJoinStudies(t *testing.T) {
 	cfg := tinyCfg()
-	figs, err := SkewStudy(cfg)
+	figs, err := SkewStudy(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("SkewStudy: %v", err)
 	}
@@ -154,7 +155,7 @@ func TestSkewAndJoinStudies(t *testing.T) {
 		t.Fatalf("skew figures = %d", len(figs))
 	}
 
-	jf, err := JoinRefinementStudy(cfg)
+	jf, err := JoinRefinementStudy(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("JoinRefinementStudy: %v", err)
 	}
@@ -165,7 +166,7 @@ func TestSkewAndJoinStudies(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	cfg := tinyCfg()
-	figs, err := AblationIncremental(cfg)
+	figs, err := AblationIncremental(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("AblationIncremental: %v", err)
 	}
@@ -177,7 +178,7 @@ func TestAblations(t *testing.T) {
 		t.Errorf("incremental %vms slower than naive %vms at ratio 0.1", inc[0], naive[0])
 	}
 
-	if _, err := AblationGridIndex(cfg); err != nil {
+	if _, err := AblationGridIndex(context.Background(), cfg); err != nil {
 		t.Fatalf("AblationGridIndex: %v", err)
 	}
 }
@@ -217,7 +218,7 @@ func TestMeasurementRunners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	row, err := compareAll(e, cfg, 2, 0.5)
+	row, err := compareAll(context.Background(), e, cfg, 2, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}

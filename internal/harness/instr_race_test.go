@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary. Wall-clock claim checks are skipped under -race: the
+// instrumentation slows the methods by different factors, so timing
+// ratios no longer measure the algorithms.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 
 	"acquire/internal/baseline"
@@ -17,7 +18,7 @@ import (
 // 0.2%." Every permutation of the 3-predicate workload is swept at
 // each ratio; the figure reports the best- and worst-order errors plus
 // ACQUIRE's (order-free) error for reference.
-func OrderSensitivityStudy(cfg Config) ([]Figure, error) {
+func OrderSensitivityStudy(ctx context.Context, cfg Config) ([]Figure, error) {
 	cfg = cfg.WithDefaults()
 	e, err := usersEngine(cfg)
 	if err != nil {
@@ -39,7 +40,7 @@ func OrderSensitivityStudy(cfg Config) ([]Figure, error) {
 		}
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, order := range orders {
-			out, err := baseline.BinSearch(e, q, baseline.BinSearchOptions{
+			out, err := baseline.BinSearchContext(ctx, e, q, baseline.BinSearchOptions{
 				Delta: cfg.Delta, Order: order,
 			})
 			if err != nil {
@@ -61,7 +62,7 @@ func OrderSensitivityStudy(cfg Config) ([]Figure, error) {
 			spread.Y[i] = 1
 		}
 
-		m, err := RunACQUIRE(e, q, acquireOpts(cfg))
+		m, err := RunACQUIRE(ctx, e, q, acquireOpts(cfg))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -20,9 +21,9 @@ type Claim struct {
 // they were computed from. Run at ≥30K rows: below that, Top-k's
 // single sorted scan is cheap enough to win (the paper's own §8.5(3)
 // caveat), and the corresponding claim legitimately deviates.
-func Summary(cfg Config) ([]Claim, []Figure, error) {
+func Summary(ctx context.Context, cfg Config) ([]Claim, []Figure, error) {
 	cfg = cfg.WithDefaults()
-	figs, err := Figure8(cfg)
+	figs, err := Figure8(ctx, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

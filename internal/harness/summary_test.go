@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestSummaryClaimsHold(t *testing.T) {
 	// datasets" — so the check runs at a scale where sorting matters.
 	cfg := tinyCfg()
 	cfg.Rows = 30000
-	claims, figs, err := Summary(cfg)
+	claims, figs, err := Summary(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Summary: %v", err)
 	}
@@ -21,8 +22,19 @@ func TestSummaryClaimsHold(t *testing.T) {
 	if len(claims) != 5 {
 		t.Fatalf("claims = %d, want 5", len(claims))
 	}
+	// §8.5(1a)/(1b)/(3) compare wall-clock across methods; the race
+	// detector slows each method by a different factor, so those ratios
+	// stop measuring the algorithms. The deterministic claims (error
+	// bound, refinement quality) must hold under any instrumentation.
+	timing := map[string]bool{"§8.5(1a)": true, "§8.5(1b)": true, "§8.5(3)": true}
+	deviated := false
 	for _, c := range claims {
 		if !c.Holds {
+			if raceEnabled && timing[c.ID] {
+				t.Logf("claim %s deviates under -race (timing-based, not asserted): %s (%s)", c.ID, c.Paper, c.Measured)
+				continue
+			}
+			deviated = true
 			t.Errorf("claim %s deviates: %s (%s)", c.ID, c.Paper, c.Measured)
 		}
 	}
@@ -30,13 +42,13 @@ func TestSummaryClaimsHold(t *testing.T) {
 	if !strings.Contains(s, "HOLDS") || !strings.Contains(s, "§8.5") {
 		t.Errorf("FormatClaims:\n%s", s)
 	}
-	if strings.Contains(s, "DEVIATES") {
-		t.Errorf("unexpected deviation:\n%s", s)
+	if deviated {
+		t.Errorf("deviation detail:\n%s", s)
 	}
 }
 
 func TestOrderSensitivityStudy(t *testing.T) {
-	figs, err := OrderSensitivityStudy(tinyCfg())
+	figs, err := OrderSensitivityStudy(context.Background(), tinyCfg())
 	if err != nil {
 		t.Fatalf("OrderSensitivityStudy: %v", err)
 	}

@@ -6,10 +6,12 @@
 package histogram
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"acquire/internal/agg"
 	"acquire/internal/data"
@@ -111,8 +113,9 @@ type Evaluator struct {
 	cat   *data.Catalog
 	hists map[string]map[string]*Histogram // table -> column -> histogram
 	// Estimates counts estimator invocations (the analogue of engine
-	// query executions).
-	Estimates int64
+	// query executions). Updated atomically so concurrent searches over
+	// one evaluator stay race-free; read it with Estimates.Load().
+	Estimates atomic.Int64
 }
 
 // NewEvaluator builds histograms (with the given bucket count) for
@@ -143,6 +146,24 @@ func NewEvaluator(cat *data.Catalog, buckets int) (*Evaluator, error) {
 // Catalog implements core.Evaluator.
 func (ev *Evaluator) Catalog() *data.Catalog { return ev.cat }
 
+// AggregateBatch implements core.Evaluator. Estimation never touches
+// the data, so each region costs microseconds and a serial loop with a
+// per-region cancellation check beats spawning workers.
+func (ev *Evaluator) AggregateBatch(ctx context.Context, q *relq.Query, regions []relq.Region) ([]agg.Partial, error) {
+	out := make([]agg.Partial, len(regions))
+	for i, r := range regions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p, err := ev.Aggregate(q, r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
 // Aggregate implements core.Evaluator for COUNT queries over
 // conjunctive selections and NOREFINE equi-joins.
 func (ev *Evaluator) Aggregate(q *relq.Query, region relq.Region) (agg.Partial, error) {
@@ -163,7 +184,7 @@ func (ev *Evaluator) Aggregate(q *relq.Query, region relq.Region) (agg.Partial, 
 		}
 		return h, nil
 	}
-	ev.Estimates++
+	ev.Estimates.Add(1)
 
 	// Cross-product size, then multiply selectivities and divide by
 	// join key diversity (containment assumption).

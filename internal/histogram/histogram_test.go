@@ -114,7 +114,7 @@ func TestEvaluatorMatchesExactWithinTolerance(t *testing.T) {
 			t.Errorf("scores %v: estimate %d vs exact %d (rel %v)", scores, est.Count, exact.Count, rel)
 		}
 	}
-	if ev.Estimates == 0 {
+	if ev.Estimates.Load() == 0 {
 		t.Error("Estimates counter not advanced")
 	}
 }
