@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet
+.PHONY: build test race bench bench-obs vet profile
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,21 @@ race:
 # BenchmarkParallelExplore.
 bench:
 	$(GO) test -run xxx -bench=. -benchmem .
+
+# Metrics-overhead guard: the exploration sweep bare vs with a live
+# registry/observer attached. The two ns/op columns should be within
+# noise of each other.
+bench-obs:
+	$(GO) test -run xxx -bench='BenchmarkParallelExplore(Observed)?$$' -benchmem .
+
+# Capture a 10s CPU profile from a live acqbench run through the pprof
+# endpoint the observability layer serves. Writes cpu.pprof; inspect
+# with `go tool pprof cpu.pprof`.
+PROFILE_ADDR ?= 127.0.0.1:8099
+profile:
+	$(GO) run ./cmd/acqbench -experiment fig8 -rows 50000 -metrics-addr $(PROFILE_ADDR) & \
+	BENCH_PID=$$!; \
+	sleep 2; \
+	curl -fsS -o cpu.pprof "http://$(PROFILE_ADDR)/debug/pprof/profile?seconds=10" || { kill $$BENCH_PID; exit 1; }; \
+	kill $$BENCH_PID 2>/dev/null; \
+	echo "wrote cpu.pprof"

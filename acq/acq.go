@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"acquire/internal/agg"
 	"acquire/internal/baseline"
@@ -34,6 +35,7 @@ import (
 	"acquire/internal/exec"
 	"acquire/internal/histogram"
 	"acquire/internal/norms"
+	"acquire/internal/obs"
 	"acquire/internal/ontology"
 	"acquire/internal/relq"
 	"acquire/internal/sqlparse"
@@ -166,6 +168,11 @@ type Session struct {
 	// eval answers the refinement search's aggregate queries; defaults
 	// to eng (exact execution).
 	eval Evaluator
+	// obs instruments the session (see Observe/Metrics in observe.go);
+	// nil keeps every search uninstrumented at ~zero cost.
+	obs *obs.Observer
+	// searchSeq numbers RefineReport searches within the session.
+	searchSeq atomic.Int64
 }
 
 // NewSession creates an empty session; load tables with LoadCSV or
@@ -252,8 +259,13 @@ func (s *Session) Estimate(q *Query) (float64, error) {
 }
 
 // Refine runs ACQUIRE on the query through the session's evaluation
-// layer (exact by default; see UseSampling / UseHistograms).
+// layer (exact by default; see UseSampling / UseHistograms). When the
+// session has an attached observer (Observe/Metrics) and the options
+// don't name one, the search runs under the session observer.
 func (s *Session) Refine(q *Query, opts Options) (*Result, error) {
+	if opts.Observer == nil {
+		opts.Observer = s.obs
+	}
 	return core.Run(s.eval, q, opts)
 }
 
@@ -263,6 +275,9 @@ func (s *Session) Refine(q *Query, opts Options) (*Result, error) {
 // accumulated so far is returned alongside the context's error, so
 // callers can report the best refinement found before the interrupt.
 func (s *Session) RefineContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	if opts.Observer == nil {
+		opts.Observer = s.obs
+	}
 	return core.RunContext(ctx, s.eval, q, opts)
 }
 
@@ -275,6 +290,7 @@ func (s *Session) UseSampling(fraction float64, seed int64) error {
 	if err != nil {
 		return err
 	}
+	sampled.SetObserver(s.obs)
 	s.eval = sampled
 	return nil
 }

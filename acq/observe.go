@@ -1,0 +1,143 @@
+package acq
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"acquire/internal/core"
+	"acquire/internal/exec"
+	"acquire/internal/obs"
+)
+
+// Observability re-exports. Aliases keep internal/obs as the single
+// definition while letting downstream importers attach registries and
+// observers without reaching into internal packages.
+type (
+	// MetricsRegistry holds counters, gauges and histograms and renders
+	// them in Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+	// Observer bundles metrics, phase spans and structured events
+	// behind one handle (Options.Observer). Nil disables all three.
+	Observer = obs.Observer
+	// PhaseStat is the per-phase (count, total duration) pair of a
+	// SearchReport breakdown.
+	PhaseStat = obs.PhaseStat
+	// Clock abstracts time for span measurement; tests inject
+	// obs.NewFakeClock instead of sleeping.
+	Clock = obs.Clock
+)
+
+// NewMetricsRegistry creates an empty metric registry; attach it with
+// Session.Observe(NewObserver(reg)) or let Session.Metrics create one
+// lazily.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewObserver creates an observer over the registry (which may be nil
+// for spans and structured events without metric collection).
+func NewObserver(reg *MetricsRegistry) *Observer { return obs.NewObserver(reg) }
+
+// ServeMetrics starts an HTTP server on addr exposing /metrics
+// (Prometheus text format), /healthz, /debug/vars and /debug/pprof/*.
+// It returns the bound address (useful with ":0") and a shutdown
+// function.
+func ServeMetrics(addr string, reg *MetricsRegistry) (string, func(), error) {
+	return obs.Serve(addr, reg)
+}
+
+// Observe attaches an observer to the session: the engine mirrors its
+// statistics into the observer's registry, refinement searches run
+// under it by default (Options.Observer overrides per call), and the
+// evaluation layer's events flow through its logger. Passing nil
+// detaches.
+func (s *Session) Observe(o *Observer) {
+	s.obs = o
+	s.eng.SetObserver(o)
+	if sampled, ok := s.eval.(*exec.Sampled); ok {
+		sampled.SetObserver(o)
+	}
+}
+
+// Observer returns the session's attached observer (nil when none).
+func (s *Session) Observer() *Observer { return s.obs }
+
+// Metrics returns the session's metric registry, lazily creating and
+// attaching a registry-backed observer on first use. Serve it with
+// ServeMetrics or render it with WritePrometheus.
+func (s *Session) Metrics() *MetricsRegistry {
+	if s.obs == nil || s.obs.Registry() == nil {
+		reg := obs.NewRegistry()
+		o := obs.NewObserver(reg)
+		if s.obs != nil {
+			// Preserve a previously attached clock/logger.
+			o = o.WithClock(s.obs.Clock())
+		}
+		s.Observe(o)
+	}
+	return s.obs.Registry()
+}
+
+// SearchReport breaks one refinement search down for dashboards and
+// regression tracking: wall time, per-phase durations, and the
+// evaluation-layer work the search caused (engine counter deltas).
+type SearchReport struct {
+	// SearchID tags the search's structured events (search_id attr).
+	SearchID string
+	// Wall is the end-to-end search duration by the observer's clock.
+	Wall time.Duration
+	// Phases maps phase name (expand, prefetch, fold, repartition,
+	// evaluate, search, ...) to its accumulated span stats.
+	Phases map[string]PhaseStat
+	// Engine is the engine counter movement during the search.
+	Engine EngineStats
+}
+
+// RefineReport is RefineContext plus a per-search SearchReport. The
+// search runs under a search-scoped observer (derived from
+// opts.Observer, the session observer, or a fresh one, in that order),
+// so its events carry a unique search_id and its phase spans —
+// including the engine's per-query evaluate spans — accumulate
+// separately from other searches on the same registry. The report is
+// returned even when the search errs mid-way.
+//
+// The evaluation engine is rescoped to the search observer for the
+// duration: concurrent RefineReport calls on one session may attribute
+// each other's evaluate spans; counters and metrics are unaffected.
+func (s *Session) RefineReport(ctx context.Context, q *Query, opts Options) (*Result, *SearchReport, error) {
+	o := opts.Observer
+	if o == nil {
+		o = s.obs
+	}
+	if o == nil {
+		o = obs.NewObserver(nil) // spans + report without a registry
+	}
+	id := fmt.Sprintf("search-%d", s.searchSeq.Add(1))
+	so := o.ForSearch(id)
+	opts.Observer = so
+
+	eng := s.evalEngine()
+	prev := eng.Observer()
+	eng.SetObserver(so)
+	defer eng.SetObserver(prev)
+
+	before := eng.Snapshot()
+	start := so.Clock().Now()
+	res, err := core.RunContext(ctx, s.eval, q, opts)
+	rep := &SearchReport{
+		SearchID: id,
+		Wall:     so.Clock().Now().Sub(start),
+		Phases:   so.Phases(),
+		Engine:   eng.Snapshot().Sub(before),
+	}
+	return res, rep, err
+}
+
+// evalEngine returns the engine backing the current evaluation layer:
+// the sample engine under UseSampling, the session engine otherwise
+// (the histogram evaluator issues no engine work).
+func (s *Session) evalEngine() *exec.Engine {
+	if sampled, ok := s.eval.(*exec.Sampled); ok {
+		return sampled.Engine
+	}
+	return s.eng
+}

@@ -15,6 +15,7 @@ import (
 	"acquire/internal/core"
 	"acquire/internal/exec"
 	"acquire/internal/harness"
+	"acquire/internal/obs"
 	"acquire/internal/relq"
 	"acquire/internal/tpch"
 	"acquire/internal/workload"
@@ -354,6 +355,39 @@ func BenchmarkParallelExplore(b *testing.B) {
 			}
 			b.ReportMetric(float64(explored), "explored")
 			b.ReportMetric(float64(cells), "cell-queries")
+		})
+	}
+	e.Parallelism = 0
+}
+
+// BenchmarkParallelExploreObserved is BenchmarkParallelExplore with a
+// live metric registry and observer attached to the engine and search.
+// CI runs both and logs the delta: the instrumented path must stay
+// within noise of the bare one (the nil fast path itself is guarded by
+// allocation tests in internal/obs).
+func BenchmarkParallelExploreObserved(b *testing.B) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 100000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := exec.New(cat)
+	o := obs.NewObserver(obs.NewRegistry())
+	e.SetObserver(o)
+	q, err := workload.BuildCalibrated(e, workload.Spec{
+		Kind: workload.Users, Dims: 3, Agg: relq.AggCount, Ratio: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e.Parallelism = w
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunContext(context.Background(), e, q,
+					core.Options{Gamma: 20, Delta: 0.05, Observer: o}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 	e.Parallelism = 0

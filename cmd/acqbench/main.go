@@ -14,6 +14,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -21,6 +22,7 @@ import (
 	"syscall"
 
 	"acquire/internal/harness"
+	"acquire/internal/obs"
 )
 
 type experiment struct {
@@ -95,6 +97,9 @@ func run(ctx context.Context, args []string) error {
 		sizesCS = fs.String("sizes", "", "comma-separated table sizes for fig10a (default 1000,10000,100000)")
 		gridK   = fs.Int("tqgen-k", 0, "TQGen grid values per predicate (default 8)")
 		rounds  = fs.Int("tqgen-rounds", 0, "TQGen zoom rounds (default 5)")
+		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while experiments run")
+		logJSON = fs.Bool("log-json", false, "emit structured search/engine events as JSON on stderr")
+		jsonOut = fs.String("json", "", "also write figures + config + metric snapshot as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +107,26 @@ func run(ctx context.Context, args []string) error {
 	cfg := harness.Config{
 		Rows: *rows, Seed: *seed, Delta: *delta, Gamma: *gamma,
 		TQGenGridK: *gridK, TQGenRounds: *rounds,
+	}
+
+	// Observability: one registry + observer instruments every engine
+	// and search the harness builds; -json snapshots it at the end.
+	var reg *obs.Registry
+	if *metrics != "" || *logJSON || *jsonOut != "" {
+		reg = obs.NewRegistry()
+		o := obs.NewObserver(reg)
+		if *logJSON {
+			o = o.WithLogger(slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})))
+		}
+		cfg.Obs = o
+		if *metrics != "" {
+			addr, shutdown, err := obs.Serve(*metrics, reg)
+			if err != nil {
+				return err
+			}
+			defer shutdown()
+			fmt.Fprintf(os.Stderr, "acqbench: serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+		}
 	}
 	var sizes []int
 	if *sizesCS != "" {
@@ -112,6 +137,20 @@ func run(ctx context.Context, args []string) error {
 			}
 			sizes = append(sizes, n)
 		}
+	}
+
+	// writeJSON archives the run when -json is set: figures, config and
+	// the metric registry snapshot in one machine-readable file.
+	writeJSON := func(figs []harness.Figure) error {
+		if *jsonOut == "" {
+			return nil
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return harness.WriteResults(f, cfg, figs)
 	}
 
 	if *expName == "table1" || *expName == "all" {
@@ -126,8 +165,9 @@ func run(ctx context.Context, args []string) error {
 			fmt.Println(harness.FormatFigure(f))
 		}
 		fmt.Println(harness.FormatClaims(claims))
-		return nil
+		return writeJSON(figs)
 	}
+	var allFigs []harness.Figure
 	for _, ex := range experiments {
 		if *expName != "all" && *expName != ex.name {
 			continue
@@ -140,11 +180,12 @@ func run(ctx context.Context, args []string) error {
 		for _, f := range figs {
 			fmt.Println(harness.FormatFigure(f))
 		}
+		allFigs = append(allFigs, figs...)
 	}
 	if *expName != "all" && *expName != "table1" && *expName != "summary" && !known(*expName) {
 		return fmt.Errorf("unknown experiment %q (want all, table1, summary, %s)", *expName, names())
 	}
-	return nil
+	return writeJSON(allFigs)
 }
 
 func names() string {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -52,5 +55,43 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-experiment", "fig10a", "-sizes", "a,b"}); err == nil {
 		t.Error("bad sizes: expected error")
+	}
+}
+
+func TestRunJSONResults(t *testing.T) {
+	// -json archives figures + config + metric snapshot; the run is
+	// instrumented, so engine counters must appear in the snapshot.
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := run(context.Background(), []string{
+		"-experiment", "fig10b", "-rows", "1000", "-json", path, "-metrics-addr", "127.0.0.1:0",
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Config  map[string]any     `json:"config"`
+		Figures []json.RawMessage  `json:"figures"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("results JSON: %v", err)
+	}
+	if len(res.Figures) == 0 {
+		t.Error("results JSON has no figures")
+	}
+	if res.Config["Rows"] != float64(1000) {
+		t.Errorf("config rows = %v", res.Config["Rows"])
+	}
+	if _, ok := res.Config["Obs"]; ok {
+		t.Error("live observer handle leaked into results JSON")
+	}
+	if res.Metrics["acquire_engine_queries_total"] <= 0 {
+		t.Errorf("metric snapshot missing engine counters: %v", res.Metrics)
+	}
+	if res.Metrics["acquire_searches_total"] <= 0 {
+		t.Errorf("metric snapshot missing search counter: %v", res.Metrics)
 	}
 }

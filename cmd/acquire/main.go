@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -65,6 +66,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		explain = fs.Bool("explain", false, "print the search trace (one line per explored refined query)")
 		show    = fs.Int("show", 0, "materialise up to N result rows of the best refined query")
 		saveDir = fs.String("save", "", "write every loaded/generated table to this directory as CSV")
+		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
+		logJSON = fs.Bool("log-json", false, "emit structured search/engine events as JSON on stderr")
 	)
 	fs.Var(&loads, "load", "load a CSV table: name=path (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +102,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		if err := s.LoadCSV(name, path); err != nil {
 			return err
+		}
+	}
+
+	// Observability: -metrics-addr serves the session registry live
+	// (curl addr/metrics mid-search); -log-json streams the structured
+	// event feed. Both attach the same observer, so they compose.
+	if *metrics != "" || *logJSON {
+		reg := s.Metrics()
+		if *logJSON {
+			logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+			s.Observe(s.Observer().WithLogger(logger))
+		}
+		if *metrics != "" {
+			addr, shutdown, err := acq.ServeMetrics(*metrics, reg)
+			if err != nil {
+				return err
+			}
+			defer shutdown()
+			fmt.Fprintf(os.Stderr, "acquire: serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", addr)
 		}
 	}
 

@@ -157,3 +157,26 @@ func TestRunSaveFlag(t *testing.T) {
 		t.Errorf("saved CSV missing: %v", err)
 	}
 }
+
+func TestRunMetricsAndLogFlags(t *testing.T) {
+	// -metrics-addr binds an ephemeral port and serves the session
+	// registry for the run's duration; -log-json streams events to
+	// stderr. Both must compose with a normal refinement.
+	out, err := runCLI(t,
+		"-dataset", "users", "-rows", "1000",
+		"-metrics-addr", "127.0.0.1:0", "-log-json",
+		"-sql", `SELECT * FROM users CONSTRAINT COUNT(*) = 400 WHERE age <= 30`)
+	if err != nil {
+		t.Fatalf("run with -metrics-addr/-log-json: %v", err)
+	}
+	if !strings.Contains(out, "satisfy the constraint") {
+		t.Errorf("output:\n%s", out)
+	}
+
+	// A malformed address must fail rather than run blind.
+	if _, err := runCLI(t,
+		"-dataset", "users", "-rows", "100", "-metrics-addr", "256.0.0.1:bad",
+		"-sql", `SELECT * FROM users CONSTRAINT COUNT(*) = 10 WHERE age <= 30`); err == nil {
+		t.Error("bad -metrics-addr: expected error")
+	}
+}

@@ -39,6 +39,8 @@ func BinSearch(e *exec.Engine, q *relq.Query, opts BinSearchOptions) (*Outcome, 
 // BinSearchContext is BinSearch with cancellation, checked at every
 // probe.
 func BinSearchContext(ctx context.Context, e *exec.Engine, q *relq.Query, opts BinSearchOptions) (*Outcome, error) {
+	sp := e.Observer().StartPhase("baseline_binsearch")
+	defer sp.End()
 	if opts.Delta == 0 {
 		opts.Delta = 0.05
 	}

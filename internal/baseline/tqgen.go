@@ -56,6 +56,8 @@ func TQGen(e *exec.Engine, q *relq.Query, opts TQGenOptions) (*Outcome, error) {
 // execution — essential here, since a single round issues GridK^d
 // whole queries.
 func TQGenContext(ctx context.Context, e *exec.Engine, q *relq.Query, opts TQGenOptions) (*Outcome, error) {
+	sp := e.Observer().StartPhase("baseline_tqgen")
+	defer sp.End()
 	opts = opts.withDefaults()
 	spec, err := agg.SpecFor(q.Constraint)
 	if err != nil {

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"time"
 
 	"acquire/internal/agg"
 	"acquire/internal/norms"
+	"acquire/internal/obs"
 	"acquire/internal/relq"
 )
 
@@ -57,6 +59,12 @@ type Options struct {
 	// Trace, when set, receives one event per explored grid query
 	// (cmd/acquire -explain; tests).
 	Trace Tracer
+	// Observer, when set, receives the search's metrics (counters,
+	// layer gauges, per-phase duration histograms), phase spans and
+	// structured events (internal/obs). All layer/span timing reads
+	// the observer's Clock, so tests inject a fake clock instead of
+	// sleeping. Nil disables instrumentation at ~zero cost.
+	Observer *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -185,6 +193,20 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 	target := q.Constraint.Target
 	const eps = 1e-9
 
+	// Observability: all handles are nil-tolerant, so the
+	// uninstrumented path costs one nil check per use and allocates
+	// nothing (see internal/obs). Timing routes through the observer's
+	// Clock so deterministic tests inject a fake clock.
+	o := opts.Observer
+	clk := o.Clock()
+	searchSpan := o.StartPhase("search")
+	o.Counter("acquire_searches_total", "Refinement searches started.").Inc()
+	pointsC := o.Counter("acquire_search_points_explored_total", "Grid queries investigated across all searches.")
+	layersG := o.Gauge("acquire_search_layers_explored", "Expand layers explored by the current/most recent search.")
+	layersG.Set(0)
+	o.Info("search.start", "gamma", opts.Gamma, "delta", opts.Delta,
+		"norm", opts.Norm.Name(), "dims", q.NumDims(), "target", target)
+
 	bestLayer := math.Inf(1) // minRefLayer: QScore of the first satisfying layer
 	var closestErr = math.Inf(1)
 
@@ -218,6 +240,10 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 		}
 		res.CellQueries = int(x.cellQueries.Load())
 		res.StoredPoints = x.storedPoints()
+		searchSpan.End()
+		o.Info("search.done", "satisfied", res.Satisfied, "explored", res.Explored,
+			"cell_queries", res.CellQueries, "stored_points", res.StoredPoints,
+			"exhausted", res.Exhausted)
 		return res
 	}
 	// fail funnels mid-search errors: cancellation still reports the
@@ -226,6 +252,8 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 		if isCancellation(err) {
 			return finish(), err
 		}
+		searchSpan.End()
+		o.Info("search.error", "error", err.Error())
 		return nil, err
 	}
 
@@ -234,7 +262,9 @@ search:
 		if err := ctx.Err(); err != nil {
 			return finish(), err
 		}
+		spExpand := o.StartPhase("expand")
 		layer, ok := lf.nextLayer()
+		spExpand.End()
 		if !ok {
 			res.Exhausted = len(res.Queries) == 0
 			break
@@ -274,19 +304,24 @@ search:
 		if budget := opts.MaxExplored - res.Explored; len(pre) > budget {
 			pre = pre[:budget]
 		}
-		layerStart := time.Now()
+		layerStart := clk.Now()
+		spPrefetch := o.StartPhase("prefetch")
 		batchWidth, err := x.prefetch(ctx, pre)
+		spPrefetch.End()
 		if err != nil {
 			return fail(err)
 		}
 
+		spFold := o.StartPhase("fold")
 		for _, pt := range layer {
 			if res.Explored >= opts.MaxExplored {
 				res.Exhausted = true
 				res.Note = "exploration budget exhausted"
+				spFold.End()
 				break search
 			}
 			res.Explored++
+			pointsC.Inc()
 			scores := pt.scores(sp.step)
 			qs := opts.Norm.Score(scores)
 
@@ -317,26 +352,42 @@ search:
 				record(rq)
 			case overshoots:
 				// §6: repartition the cell for b iterations.
-				if sub, found, err := repartition(ctx, x, sp, pt, spec, errFn, target, opts, q); err != nil {
+				spRep := o.StartPhase("repartition")
+				sub, found, err := repartition(ctx, x, sp, pt, spec, errFn, target, opts, q)
+				spRep.End()
+				if err != nil {
 					return fail(err)
 				} else if found {
 					record(sub)
 					repartitioned = true
 				}
 			}
+			outcome := classify(ev <= opts.Delta, overshoots, repartitioned)
 			if opts.Trace != nil {
 				opts.Trace.Event(TraceEvent{
 					Seq: res.Explored - 1, Scores: scores, QScore: qs,
 					Aggregate: actual, Err: ev,
-					Outcome: classify(ev <= opts.Delta, overshoots, repartitioned),
+					Outcome: outcome,
 				})
 			}
+			if o.LogEnabled(slog.LevelDebug) {
+				o.Debug("search.point", "seq", res.Explored-1, "qscore", qs,
+					"aggregate", actual, "err", ev, "outcome", outcome)
+			}
 		}
+		spFold.End()
+		layersG.Set(float64(layerIdx + 1))
+		layerWall := clk.Now().Sub(layerStart)
 		if lt != nil {
 			lt.LayerDone(LayerEvent{
 				Layer: layerIdx, QScore: qs0, Width: len(layer),
-				BatchWidth: batchWidth, Wall: time.Since(layerStart),
+				BatchWidth: batchWidth, Wall: layerWall,
 			})
+		}
+		if o.LogEnabled(slog.LevelInfo) {
+			o.Info("search.layer", "layer", layerIdx, "qscore", qs0,
+				"width", len(layer), "batch_width", batchWidth,
+				"wall_ms", float64(layerWall)/float64(time.Millisecond))
 		}
 		layerIdx++
 	}

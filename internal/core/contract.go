@@ -69,12 +69,24 @@ func ContractContext(ctx context.Context, e Evaluator, q *relq.Query, opts Optio
 	bestLayer := math.Inf(1)
 	closestErr := math.Inf(1)
 
+	// Contraction shares the search counters with runSearch; its wall
+	// time lands in a dedicated "contract" phase histogram.
+	o := opts.Observer
+	span := o.StartPhase("contract")
+	o.Counter("acquire_searches_total", "Refinement searches started.").Inc()
+	pointsC := o.Counter("acquire_search_points_explored_total", "Grid queries investigated across all searches.")
+	o.Info("contract.start", "gamma", opts.Gamma, "delta", opts.Delta,
+		"norm", opts.Norm.Name(), "dims", q.NumDims(), "target", target)
+
 	finish := func() *Result {
 		sort.Slice(res.Queries, func(i, j int) bool { return res.Queries[i].QScore < res.Queries[j].QScore })
 		if len(res.Queries) > 0 {
 			res.Satisfied = true
 			res.Best = &res.Queries[0]
 		}
+		span.End()
+		o.Info("contract.done", "satisfied", res.Satisfied, "explored", res.Explored,
+			"cell_queries", res.CellQueries, "exhausted", res.Exhausted)
 		return res
 	}
 
@@ -98,6 +110,7 @@ func ContractContext(ctx context.Context, e Evaluator, q *relq.Query, opts Optio
 			break
 		}
 		res.Explored++
+		pointsC.Inc()
 
 		contracted, scores := tightenQuery(q, w)
 		parts, err := e.AggregateBatch(ctx, contracted, []relq.Region{relq.PrefixRegion(make([]float64, len(q.Dims)))})
@@ -105,6 +118,7 @@ func ContractContext(ctx context.Context, e Evaluator, q *relq.Query, opts Optio
 			if isCancellation(err) {
 				return finish(), err
 			}
+			span.End()
 			return nil, err
 		}
 		partial := parts[0]

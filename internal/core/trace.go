@@ -75,7 +75,9 @@ func (t *TraceBuffer) Event(ev TraceEvent) { t.Events = append(t.Events, ev) }
 // LayerDone implements LayerTracer.
 func (t *TraceBuffer) LayerDone(ev LayerEvent) { t.Layers = append(t.Layers, ev) }
 
-// WriteTo renders the trace as an aligned table.
+// WriteTo renders the trace as an aligned table: the per-point events
+// first, then (when the search ran the batched layer pipeline) one row
+// per Expand layer with its batch width and wall time.
 func (t *TraceBuffer) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%4s  %-24s  %10s  %12s  %8s  %s\n",
@@ -83,6 +85,14 @@ func (t *TraceBuffer) WriteTo(w io.Writer) (int64, error) {
 	for _, ev := range t.Events {
 		fmt.Fprintf(&b, "%4d  %-24s  %10.3f  %12.4g  %8.4f  %s\n",
 			ev.Seq, scoresString(ev.Scores), ev.QScore, ev.Aggregate, ev.Err, ev.Outcome)
+	}
+	if len(t.Layers) > 0 {
+		fmt.Fprintf(&b, "\n%5s  %10s  %6s  %6s  %s\n",
+			"layer", "QScore", "width", "batch", "wall")
+		for _, le := range t.Layers {
+			fmt.Fprintf(&b, "%5d  %10.3f  %6d  %6d  %s\n",
+				le.Layer, le.QScore, le.Width, le.BatchWidth, le.Wall)
+		}
 	}
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err

@@ -3,6 +3,7 @@ package core
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"acquire/internal/relq"
 )
@@ -51,6 +52,54 @@ func TestTraceBuffer(t *testing.T) {
 	}
 }
 
+// TestWriteToRendersLayers pins the layer table: WriteTo must render
+// the recorded Layers slice (one row per Expand layer), not just the
+// per-point events.
+func TestWriteToRendersLayers(t *testing.T) {
+	trace := TraceBuffer{
+		Events: []TraceEvent{
+			{Seq: 0, Scores: []float64{0}, QScore: 0, Aggregate: 3, Err: 0.8, Outcome: "undershoot"},
+		},
+		Layers: []LayerEvent{
+			{Layer: 0, QScore: 0, Width: 1, BatchWidth: 1, Wall: 250 * time.Millisecond},
+			{Layer: 1, QScore: 10, Width: 2, BatchWidth: 2, Wall: 50 * time.Millisecond},
+		},
+	}
+	var sb strings.Builder
+	if _, err := trace.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"layer", "width", "batch", "wall", "250ms", "50ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trace missing %q:\n%s", want, out)
+		}
+	}
+	// Both layer rows present, in order.
+	if strings.Index(out, "250ms") > strings.Index(out, "50ms") {
+		t.Errorf("layer rows out of order:\n%s", out)
+	}
+
+	// A search-driven trace records one layer event per explored layer
+	// and renders them too.
+	e := lineTable(t, 1000)
+	q := countQ(15, leDim(10))
+	var live TraceBuffer
+	if _, err := Run(e, q, Options{Gamma: 10, Delta: 0.01, Trace: &live}); err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Layers) == 0 {
+		t.Fatal("search recorded no layer events")
+	}
+	sb.Reset()
+	if _, err := live.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "layer") {
+		t.Errorf("live trace missing layer table:\n%s", sb.String())
+	}
+}
+
 func TestWriterTracer(t *testing.T) {
 	e := lineTable(t, 100)
 	q := countQ(50, leDim(10))
@@ -60,6 +109,57 @@ func TestWriterTracer(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "satisfied") {
 		t.Errorf("streamed trace missing satisfied event:\n%s", sb.String())
+	}
+}
+
+// TestWriterTracerFormat pins the exact one-line-per-event format the
+// -trace CLI flag emits.
+func TestWriterTracerFormat(t *testing.T) {
+	var sb strings.Builder
+	WriterTracer{W: &sb}.Event(TraceEvent{
+		Seq: 7, Scores: []float64{12.5, 0}, QScore: 12.5,
+		Aggregate: 42, Err: 0.16, Outcome: "overshoot",
+	})
+	want := "#7 (12.5,0) QScore=12.500 agg=42 err=0.1600 overshoot\n"
+	if sb.String() != want {
+		t.Errorf("WriterTracer.Event = %q, want %q", sb.String(), want)
+	}
+}
+
+// TestExplainResultLiterals drives ExplainResult through crafted
+// Result values, covering the closest-only, exhausted, and note paths
+// without running a search.
+func TestExplainResultLiterals(t *testing.T) {
+	q := countQ(15, leDim(10))
+	closest := relq.RefinedQuery{Base: q, Scores: []float64{30}, QScore: 30, Aggregate: 12, Err: 0.2}
+
+	res := &Result{Explored: 9, CellQueries: 4, StoredPoints: 4, Closest: &closest}
+	s := ExplainResult(q, res)
+	for _, want := range []string{"explored 9 grid queries", "no refinement satisfied", "closest", "error 0.2000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("closest-only explain missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "exhausted") {
+		t.Errorf("non-exhausted explain mentions exhaustion:\n%s", s)
+	}
+
+	res.Exhausted = true
+	res.Note = "exploration budget exhausted"
+	s = ExplainResult(q, res)
+	for _, want := range []string{"search exhausted its budget or grid", "note: exploration budget exhausted"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("exhausted explain missing %q:\n%s", want, s)
+		}
+	}
+
+	sat := relq.RefinedQuery{Base: q, Scores: []float64{20}, QScore: 20, Aggregate: 15, Err: 0}
+	res2 := &Result{Explored: 3, Satisfied: true, Queries: []relq.RefinedQuery{sat}, Best: &sat}
+	s2 := ExplainResult(q, res2)
+	for _, want := range []string{"1 refined queries satisfy", "aggregate 15", "refinement 20"} {
+		if !strings.Contains(s2, want) {
+			t.Errorf("satisfied explain missing %q:\n%s", want, s2)
+		}
 	}
 }
 

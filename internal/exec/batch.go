@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 
@@ -31,6 +32,12 @@ func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []re
 	w := e.workers()
 	if w > len(regions) {
 		w = len(regions)
+	}
+	// Per-region execution times land in the "evaluate" phase
+	// histogram inside aggregateBound; the dispatch event records the
+	// batch shape (width × workers) for the structured log.
+	if o := e.Observer(); o.LogEnabled(slog.LevelDebug) {
+		o.Debug("engine.batch", "regions", len(regions), "workers", w)
 	}
 	if w <= 1 {
 		for i := range regions {

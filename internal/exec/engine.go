@@ -9,6 +9,7 @@ package exec
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"acquire/internal/agg"
 	"acquire/internal/data"
 	"acquire/internal/index"
+	"acquire/internal/obs"
 	"acquire/internal/relq"
 )
 
@@ -40,6 +42,40 @@ type Stats struct {
 	CellsSkipped int64
 }
 
+// Sub returns the counter deltas s minus prev — the work performed
+// between two snapshots.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Queries:        s.Queries - prev.Queries,
+		RowsScanned:    s.RowsScanned - prev.RowsScanned,
+		TuplesExamined: s.TuplesExamined - prev.TuplesExamined,
+		CellsSkipped:   s.CellsSkipped - prev.CellsSkipped,
+	}
+}
+
+// statsCells holds one generation of the engine's counters. ResetStats
+// swaps in a fresh generation atomically, so a concurrent Snapshot
+// reads counters that all belong to the same generation — never a
+// half-reset mixture.
+type statsCells struct {
+	queries        atomic.Int64
+	rowsScanned    atomic.Int64
+	tuplesExamined atomic.Int64
+	cellsSkipped   atomic.Int64
+}
+
+// engineObs holds the pre-resolved observability handles of an
+// attached observer, so the hot path pays one nil check and direct
+// atomic increments — no registry lookups per query.
+type engineObs struct {
+	o        *obs.Observer
+	queries  *obs.Counter
+	rows     *obs.Counter
+	tuples   *obs.Counter
+	cells    *obs.Counter
+	queryDur *obs.Histogram
+}
+
 // Engine executes relq queries against a catalog.
 type Engine struct {
 	cat *data.Catalog
@@ -55,10 +91,11 @@ type Engine struct {
 	// Parallelism caps scan/aggregation workers; 0 means GOMAXPROCS.
 	Parallelism int
 
-	queries        atomic.Int64
-	rowsScanned    atomic.Int64
-	tuplesExamined atomic.Int64
-	cellsSkipped   atomic.Int64
+	// stats points at the current counter generation; see statsCells.
+	stats atomic.Pointer[statsCells]
+	// obsState mirrors counters into an attached obs.Observer; nil
+	// (the default) is the uninstrumented fast path.
+	obsState atomic.Pointer[engineObs]
 }
 
 type colKey struct {
@@ -68,7 +105,7 @@ type colKey struct {
 
 // New creates an engine over the catalog.
 func New(cat *data.Catalog) *Engine {
-	return &Engine{
+	e := &Engine{
 		cat:             cat,
 		colCache:        make(map[colKey][]float64),
 		cacheGen:        make(map[string]int),
@@ -76,27 +113,84 @@ func New(cat *data.Catalog) *Engine {
 		sortIdx:         make(map[colKey]*sortedIdx),
 		MaxIntermediate: DefaultMaxIntermediate,
 	}
+	e.stats.Store(&statsCells{})
+	return e
 }
 
 // Catalog exposes the underlying catalog (read-only use).
 func (e *Engine) Catalog() *data.Catalog { return e.cat }
 
-// Snapshot returns a copy of the statistics counters.
+// SetObserver attaches an observer: engine counters are mirrored into
+// its registry (acquire_engine_* series, registered eagerly so they
+// expose as 0 before the first query), per-query durations land in
+// the "evaluate" phase histogram, and engine-level events (query
+// completion, grid-index skips) stream to its structured log. A nil
+// observer detaches, restoring the zero-cost fast path.
+func (e *Engine) SetObserver(o *obs.Observer) {
+	if o == nil {
+		e.obsState.Store(nil)
+		return
+	}
+	e.obsState.Store(&engineObs{
+		o:        o,
+		queries:  o.Counter("acquire_engine_queries_total", "Evaluation-layer query executions (cell and whole queries)."),
+		rows:     o.Counter("acquire_engine_rows_scanned_total", "Base-table rows touched by scans."),
+		tuples:   o.Counter("acquire_engine_tuples_examined_total", "Join tuples tested against regions."),
+		cells:    o.Counter("acquire_engine_cells_skipped_total", "Queries answered empty by the grid index without scanning (§7.4)."),
+		queryDur: o.Histogram(`acquire_phase_duration_seconds{phase="evaluate"}`, "Duration of search/engine phases by phase name.", nil),
+	})
+}
+
+// Observer returns the attached observer (nil when detached) —
+// baselines and other engine clients time their phases through it.
+func (e *Engine) Observer() *obs.Observer {
+	if eo := e.obsState.Load(); eo != nil {
+		return eo.o
+	}
+	return nil
+}
+
+// Snapshot returns a copy of the statistics counters. The copy is
+// generation-coherent with ResetStats: all four counters come from
+// the same generation, so a snapshot concurrent with a reset is
+// either entirely pre-reset or entirely post-reset.
 func (e *Engine) Snapshot() Stats {
+	c := e.stats.Load()
 	return Stats{
-		Queries:        e.queries.Load(),
-		RowsScanned:    e.rowsScanned.Load(),
-		TuplesExamined: e.tuplesExamined.Load(),
-		CellsSkipped:   e.cellsSkipped.Load(),
+		Queries:        c.queries.Load(),
+		RowsScanned:    c.rowsScanned.Load(),
+		TuplesExamined: c.tuplesExamined.Load(),
+		CellsSkipped:   c.cellsSkipped.Load(),
 	}
 }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes the counters by atomically swapping in a fresh
+// counter generation (see Snapshot for the coherence contract).
 func (e *Engine) ResetStats() {
-	e.queries.Store(0)
-	e.rowsScanned.Store(0)
-	e.tuplesExamined.Store(0)
-	e.cellsSkipped.Store(0)
+	e.stats.Store(&statsCells{})
+}
+
+// countQueries / countRows / countTuples bump a counter in the current
+// stats generation and mirror it into the attached observer, if any.
+func (e *Engine) countQueries(n int64) {
+	e.stats.Load().queries.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.queries.Add(n)
+	}
+}
+
+func (e *Engine) countRows(n int64) {
+	e.stats.Load().rowsScanned.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.rows.Add(n)
+	}
+}
+
+func (e *Engine) countTuples(n int64) {
+	e.stats.Load().tuplesExamined.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.tuples.Add(n)
+	}
 }
 
 // BuildGridIndex builds and registers a §7.4 grid bitmap index over the
@@ -145,11 +239,35 @@ func (e *Engine) Aggregate(q *relq.Query, region relq.Region) (agg.Partial, erro
 	return e.aggregateBound(b, region)
 }
 
+// aggregateBound executes one bound region. With an observer attached
+// it also times the execution into the "evaluate" phase histogram and
+// emits a debug-level engine.query event; without one, the only
+// instrumentation cost is a nil pointer load.
 func (e *Engine) aggregateBound(b *binding, region relq.Region) (agg.Partial, error) {
+	eo := e.obsState.Load()
+	if eo == nil {
+		return e.aggregateRegion(b, region, nil)
+	}
+	sp := eo.o.StartPhase("evaluate")
+	p, err := e.aggregateRegion(b, region, eo)
+	d := sp.End()
+	if eo.o.LogEnabled(slog.LevelDebug) {
+		eo.o.Debug("engine.query",
+			"tables", len(b.tables), "dims", len(region),
+			"duration_ms", float64(d.Microseconds())/1000,
+			"err", err != nil)
+	}
+	return p, err
+}
+
+func (e *Engine) aggregateRegion(b *binding, region relq.Region, eo *engineObs) (agg.Partial, error) {
 	if len(region) != len(b.q.Dims) {
 		return agg.Zero(), fmt.Errorf("exec: region has %d dims, query has %d", len(region), len(b.q.Dims))
 	}
-	e.queries.Add(1)
+	e.stats.Load().queries.Add(1)
+	if eo != nil {
+		eo.queries.Add(1)
+	}
 	if region.Empty() {
 		return agg.Zero(), nil
 	}
@@ -158,7 +276,11 @@ func (e *Engine) aggregateBound(b *binding, region relq.Region) (agg.Partial, er
 	// over the select dimensions.
 	for ti := range b.tables {
 		if e.cellProvablyEmpty(b, region, ti) {
-			e.cellsSkipped.Add(1)
+			e.stats.Load().cellsSkipped.Add(1)
+			if eo != nil {
+				eo.cells.Add(1)
+				eo.o.Debug("engine.grid_skip", "table", b.q.Tables[ti])
+			}
 			return agg.Zero(), nil
 		}
 	}
@@ -259,10 +381,14 @@ func (e *Engine) scanTable(b *binding, region relq.Region, ti int) ([]int32, err
 			fullScan = false
 		}
 	}
-	if fullScan {
-		e.rowsScanned.Add(int64(n))
-	} else {
-		e.rowsScanned.Add(int64(len(candidates)))
+	scanned := int64(n)
+	if !fullScan {
+		scanned = int64(len(candidates))
+	}
+	e.countRows(scanned)
+	if eo := e.obsState.Load(); eo != nil && eo.o.LogEnabled(slog.LevelDebug) {
+		eo.o.Debug("engine.scan", "table", b.q.Tables[ti],
+			"rows", scanned, "full_scan", fullScan)
 	}
 
 	verify := func(r int32) bool {
@@ -592,7 +718,7 @@ func (e *Engine) finalize(b *binding, region relq.Region, tuples []int32, order 
 		pos[ti] = slot
 	}
 	ntup := len(tuples) / stride
-	e.tuplesExamined.Add(int64(ntup))
+	e.countTuples(int64(ntup))
 
 	part := e.parallelFold(ntup, func(lo, hi int) agg.Partial {
 		viol := make([]float64, len(b.q.Dims))

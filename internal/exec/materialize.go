@@ -32,7 +32,7 @@ func (e *Engine) Materialize(q *relq.Query, region relq.Region, limit int) (*Res
 	if len(region) != len(q.Dims) {
 		return nil, fmt.Errorf("exec: region has %d dims, query has %d", len(region), len(q.Dims))
 	}
-	e.queries.Add(1)
+	e.countQueries(1)
 
 	rs := &ResultSet{}
 	for ti, t := range b.tables {
@@ -70,7 +70,7 @@ func (e *Engine) Materialize(q *relq.Query, region relq.Region, limit int) (*Res
 
 	viol := make([]float64, len(q.Dims))
 	ntup := len(tuples) / stride
-	e.tuplesExamined.Add(int64(ntup))
+	e.countTuples(int64(ntup))
 tuple:
 	for t := 0; t < ntup; t++ {
 		row := tuples[t*stride : (t+1)*stride]

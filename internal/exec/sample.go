@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 
@@ -72,13 +73,23 @@ func (s *Sampled) FullCatalog() *data.Catalog { return s.full }
 
 // extrapolate scales the extensive aggregates of a sample partial by
 // the inverse joint inclusion probability across independently sampled
-// tables.
+// tables. With an observer attached, each extrapolation is counted and
+// (at debug level) logged with its scale factor.
 func (s *Sampled) extrapolate(p *agg.Partial, q *relq.Query) {
 	joint := math.Pow(s.fraction, float64(len(q.Tables)))
 	scale := 1 / joint
+	sampleCount := p.Count
 	p.Count = int64(math.Round(float64(p.Count) * scale))
 	p.Sum *= scale
 	p.User *= scale
+	if o := s.Engine.Observer(); o != nil {
+		o.Counter("acquire_sample_extrapolations_total",
+			"Aggregates extrapolated from a Bernoulli sample (§3 sampling evaluation layer).").Inc()
+		if o.LogEnabled(slog.LevelDebug) {
+			o.Debug("engine.extrapolate", "scale", scale,
+				"sample_count", sampleCount, "count", p.Count)
+		}
+	}
 }
 
 // Aggregate executes over the sample and extrapolates.

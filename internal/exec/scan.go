@@ -36,9 +36,9 @@ func (e *Engine) ViolationScan(q *relq.Query) ([]RowViolations, error) {
 	if len(b.joinDims) != 0 {
 		return nil, fmt.Errorf("exec: ViolationScan does not support join dimensions")
 	}
-	e.queries.Add(1)
+	e.countQueries(1)
 	n := b.tables[0].NumRows()
-	e.rowsScanned.Add(int64(n))
+	e.countRows(int64(n))
 
 	d := len(b.q.Dims)
 	out := make([]RowViolations, 0, n)

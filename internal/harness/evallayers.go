@@ -61,7 +61,7 @@ func EvaluationLayerStudy(ctx context.Context, cfg Config) ([]Figure, error) {
 				return nil, err
 			}
 			start := time.Now()
-			res, err := core.RunContext(ctx, layer.ev, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+			res, err := core.RunContext(ctx, layer.ev, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta, Observer: cfg.Obs})
 			elapsed := time.Since(start)
 			if err != nil {
 				return nil, err

@@ -128,7 +128,7 @@ func Figure10b(ctx context.Context, cfg Config) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: g, Delta: cfg.Delta})
+		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: g, Delta: cfg.Delta, Observer: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -161,7 +161,7 @@ func Figure10c(ctx context.Context, cfg Config) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: d, RepartitionDepth: 12})
+		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: d, RepartitionDepth: 12, Observer: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func Figure11(ctx context.Context, cfg Config) ([]Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+			m, err := RunACQUIRE(ctx, e, q, acquireOpts(cfg))
 			if err != nil {
 				return nil, err
 			}
@@ -265,7 +265,7 @@ func JoinRefinementStudy(ctx context.Context, cfg Config) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+		m, err := RunACQUIRE(ctx, e, q, acquireOpts(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -300,12 +300,12 @@ func AblationIncremental(ctx context.Context, cfg Config) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+		m, err := RunACQUIRE(ctx, e, q, acquireOpts(cfg))
 		if err != nil {
 			return nil, err
 		}
 		inc.Y[i] = m.Millis
-		m, err = RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta, NoIncremental: true})
+		m, err = RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta, NoIncremental: true, Observer: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -362,7 +362,7 @@ func AblationGridIndex(ctx context.Context, cfg Config) ([]Figure, error) {
 		if _, err := workload.Calibrate(e, q, 1/mult); err != nil {
 			return nil, err
 		}
-		opts := core.Options{Gamma: 0.5, Delta: 0.01} // step = 0.5 score units ≈ 0.3 years
+		opts := core.Options{Gamma: 0.5, Delta: 0.01, Observer: cfg.Obs} // step = 0.5 score units ≈ 0.3 years
 
 		m, err := RunACQUIRE(ctx, e, q, opts)
 		if err != nil {

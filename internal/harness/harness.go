@@ -17,6 +17,7 @@ import (
 	"acquire/internal/baseline"
 	"acquire/internal/core"
 	"acquire/internal/exec"
+	"acquire/internal/obs"
 	"acquire/internal/relq"
 	"acquire/internal/tpch"
 	"acquire/internal/workload"
@@ -40,6 +41,10 @@ type Config struct {
 	// TQGenGridK / TQGenRounds bound the TQGen baseline's cost.
 	TQGenGridK  int
 	TQGenRounds int
+	// Obs instruments every engine and search the harness builds
+	// (metrics, phase spans, events); nil runs uninstrumented. Excluded
+	// from results JSON — it is a live handle, not a parameter.
+	Obs *obs.Observer `json:"-"`
 }
 
 // WithDefaults fills unset fields.
@@ -102,7 +107,9 @@ func usersEngine(cfg Config) (*exec.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.New(cat), nil
+	e := exec.New(cat)
+	e.SetObserver(cfg.Obs)
+	return e, nil
 }
 
 // tpchEngine builds the three-table supply-chain dataset.
@@ -111,17 +118,20 @@ func tpchEngine(cfg Config) (*exec.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.New(cat), nil
+	e := exec.New(cat)
+	e.SetObserver(cfg.Obs)
+	return e, nil
 }
 
 // RunACQUIRE measures one ACQUIRE execution. The context cancels the
 // search mid-flight (every runner threads it down to the evaluation
 // layer, so acqbench's signal handling interrupts real work).
 func RunACQUIRE(ctx context.Context, e *exec.Engine, q *relq.Query, opts core.Options) (Measurement, error) {
+	clk := opts.Observer.Clock() // Real for a nil observer
 	before := e.Snapshot()
-	start := time.Now()
+	start := clk.Now()
 	res, err := core.RunContext(ctx, e, q, opts)
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -147,9 +157,10 @@ func RunACQUIRE(ctx context.Context, e *exec.Engine, q *relq.Query, opts core.Op
 
 // RunTopK measures the Top-k baseline.
 func RunTopK(ctx context.Context, e *exec.Engine, q *relq.Query) (Measurement, error) {
-	start := time.Now()
+	clk := e.Observer().Clock()
+	start := clk.Now()
 	out, err := baseline.TopKContext(ctx, e, q)
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -158,9 +169,10 @@ func RunTopK(ctx context.Context, e *exec.Engine, q *relq.Query) (Measurement, e
 
 // RunBinSearch measures the BinSearch baseline.
 func RunBinSearch(ctx context.Context, e *exec.Engine, q *relq.Query, delta float64) (Measurement, error) {
-	start := time.Now()
+	clk := e.Observer().Clock()
+	start := clk.Now()
 	out, err := baseline.BinSearchContext(ctx, e, q, baseline.BinSearchOptions{Delta: delta})
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -169,11 +181,12 @@ func RunBinSearch(ctx context.Context, e *exec.Engine, q *relq.Query, delta floa
 
 // RunTQGen measures the TQGen baseline.
 func RunTQGen(ctx context.Context, e *exec.Engine, q *relq.Query, cfg Config) (Measurement, error) {
-	start := time.Now()
+	clk := e.Observer().Clock()
+	start := clk.Now()
 	out, err := baseline.TQGenContext(ctx, e, q, baseline.TQGenOptions{
 		Delta: cfg.Delta, GridK: cfg.TQGenGridK, Rounds: cfg.TQGenRounds,
 	})
-	elapsed := time.Since(start)
+	elapsed := clk.Now().Sub(start)
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -201,7 +214,7 @@ func l1(v []float64) float64 {
 
 // acquireOpts builds the standard ACQUIRE options for a config.
 func acquireOpts(cfg Config) core.Options {
-	return core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta}
+	return core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta, Observer: cfg.Obs}
 }
 
 // compareAll runs all four methods on a freshly calibrated Users query.
@@ -218,7 +231,7 @@ func compareAll(ctx context.Context, e *exec.Engine, cfg Config, dims int, ratio
 	if err != nil {
 		return nil, err
 	}
-	m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta})
+	m, err := RunACQUIRE(ctx, e, q, acquireOpts(cfg))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Results is the machine-readable form of an acqbench run: the
+// configuration, every reproduced figure, and — when the run was
+// instrumented — a flat snapshot of the metric registry (counter and
+// gauge values, histogram sums/counts), so a CI job can archive the
+// run's cost profile next to its figures.
+type Results struct {
+	GeneratedAt time.Time          `json:"generated_at"`
+	Config      Config             `json:"config"`
+	Figures     []Figure           `json:"figures"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// WriteResults serialises the figures (plus the registry snapshot of
+// cfg.Obs, when instrumented) as indented JSON to w.
+func WriteResults(w io.Writer, cfg Config, figs []Figure) error {
+	r := Results{
+		GeneratedAt: time.Now().UTC(),
+		Config:      cfg,
+		Figures:     figs,
+		Metrics:     cfg.Obs.Registry().Snapshot(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the live-introspection HTTP handler both CLIs serve
+// under -metrics-addr:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/healthz      liveness probe ("ok")
+//	/debug/vars   expvar JSON (includes the registry when Published)
+//	/debug/pprof  the standard pprof profile suite
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the introspection server on addr (host:port; port 0
+// picks a free port) in a background goroutine. It returns the bound
+// address and a shutdown function. The server lives until shutdown is
+// called or the process exits — profiling a long run needs no
+// coordination with the search.
+func Serve(addr string, reg *Registry) (boundAddr string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("acq_http_total", "Requests.").Add(11)
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content-type %q", ct)
+	}
+	if !strings.Contains(body, "acq_http_total 11") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+	checkExposition(t, body)
+
+	code, body, _ = get(t, srv, "/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get(t, srv, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+
+	code, _, _ = get(t, srv, "/debug/vars")
+	if code != 200 {
+		t.Errorf("/debug/vars = %d", code)
+	}
+}
+
+func TestServeBindsAndShutsDown(t *testing.T) {
+	reg := NewRegistry()
+	addr, shutdown, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	shutdown()
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still reachable after shutdown")
+	}
+}
