@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-obs vet profile
+.PHONY: build test race bench bench-json bench-obs vet profile
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ race:
 # BenchmarkParallelExplore.
 bench:
 	$(GO) test -run xxx -bench=. -benchmem .
+
+# Machine-readable baseline of the fig. 8 ratio sweep: figures, config
+# and the metric registry snapshot in one JSON file. The committed
+# BENCH_baseline.json is the reference artifact; regenerate after a
+# perf-relevant change and compare before committing.
+bench-json:
+	$(GO) run ./cmd/acqbench -experiment fig8 -rows 20000 -json BENCH_baseline.json
 
 # Metrics-overhead guard: the exploration sweep bare vs with a live
 # registry/observer attached. The two ns/op columns should be within

@@ -335,6 +335,15 @@ func (s *Session) BuildGridIndex(table string, columns []string, binsPerDim int)
 	return s.eng.BuildGridIndex(table, columns, binsPerDim)
 }
 
+// BuildGridAggIndex builds an aggregate-augmented grid over numeric
+// columns of a table: per-cell COUNT, SUM/MIN/MAX of each aggCols
+// column, and posting lists. Eligible single-table refinement queries
+// are then answered by merging stored cell partials (interior cells)
+// and scanning only boundary-cell posting lists.
+func (s *Session) BuildGridAggIndex(table string, columns, aggCols []string, binsPerDim int) error {
+	return s.eng.BuildGridAggIndex(table, columns, aggCols, binsPerDim)
+}
+
 // DropGridIndex removes a table's grid index.
 func (s *Session) DropGridIndex(table string) { s.eng.DropGridIndex(table) }
 

@@ -15,6 +15,7 @@ import (
 	"acquire/internal/core"
 	"acquire/internal/exec"
 	"acquire/internal/harness"
+	"acquire/internal/index"
 	"acquire/internal/obs"
 	"acquire/internal/relq"
 	"acquire/internal/tpch"
@@ -391,4 +392,84 @@ func BenchmarkParallelExploreObserved(b *testing.B) {
 		})
 	}
 	e.Parallelism = 0
+}
+
+// BenchmarkBoxKernel quantifies the box-aggregate kernel on the fig. 8
+// single-table workload (users, 3 dims, ratio 0.3, COUNT): one full
+// ACQUIRE search per iteration, once against the plain scan path and
+// then with the aggregate-augmented grid. scan-rows vs kernel-rows is
+// the RowsScanned reduction the ISSUE's acceptance criterion quotes;
+// cells-merged and boundary-rows show how the kernel split the work.
+func BenchmarkBoxKernel(b *testing.B) {
+	const rows = 100000
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := exec.New(cat)
+	q, err := workload.BuildCalibrated(e, workload.Spec{
+		Kind: workload.Users, Dims: 3, Agg: relq.AggCount, Ratio: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Gamma: 20, Delta: 0.05}
+
+	// Scan-path reference: rows touched by one search without the grid.
+	before := e.Snapshot()
+	if _, err := core.RunContext(context.Background(), e, q, opts); err != nil {
+		b.Fatal(err)
+	}
+	scanRows := e.Snapshot().Sub(before).RowsScanned
+
+	cols := make([]string, 0, len(q.Dims))
+	for i := range q.Dims {
+		cols = append(cols, q.Dims[i].Col.Column)
+	}
+	if err := e.BuildGridAggIndex("users", cols, nil, index.BinsForRows(len(cols), rows)); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	var d exec.Stats
+	for i := 0; i < b.N; i++ {
+		before := e.Snapshot()
+		if _, err := core.RunContext(context.Background(), e, q, opts); err != nil {
+			b.Fatal(err)
+		}
+		d = e.Snapshot().Sub(before)
+	}
+	b.ReportMetric(float64(scanRows), "scan-rows")
+	b.ReportMetric(float64(d.RowsScanned), "kernel-rows")
+	if d.RowsScanned > 0 {
+		b.ReportMetric(float64(scanRows)/float64(d.RowsScanned), "rows-reduction")
+	}
+	b.ReportMetric(float64(d.CellsMerged), "cells-merged")
+	b.ReportMetric(float64(d.BoundaryRows), "boundary-rows")
+}
+
+// BenchmarkGridAggBuild times the parallel row-partitioned aggregate
+// grid build at the fig. 8 scale: 3 index columns plus one
+// materialized aggregate column.
+func BenchmarkGridAggBuild(b *testing.B) {
+	const rows = 100000
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := cat.Table("users")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols := []string{"age", "income", "distance"}
+	bins := index.BinsForRows(len(cols), rows)
+	var g *index.Grid
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g, err = index.BuildAgg(t, cols, []string{"spend"}, bins, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumCells()), "cells")
+	b.ReportMetric(float64(g.AggBytes()), "payload-bytes")
 }

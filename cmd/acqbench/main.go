@@ -97,6 +97,7 @@ func run(ctx context.Context, args []string) error {
 		sizesCS = fs.String("sizes", "", "comma-separated table sizes for fig10a (default 1000,10000,100000)")
 		gridK   = fs.Int("tqgen-k", 0, "TQGen grid values per predicate (default 8)")
 		rounds  = fs.Int("tqgen-rounds", 0, "TQGen zoom rounds (default 5)")
+		gridAgg = fs.Bool("gridagg", false, "build aggregate-augmented grids: answer eligible cell queries from stored per-cell partials")
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while experiments run")
 		logJSON = fs.Bool("log-json", false, "emit structured search/engine events as JSON on stderr")
 		jsonOut = fs.String("json", "", "also write figures + config + metric snapshot as JSON to this file")
@@ -106,7 +107,7 @@ func run(ctx context.Context, args []string) error {
 	}
 	cfg := harness.Config{
 		Rows: *rows, Seed: *seed, Delta: *delta, Gamma: *gamma,
-		TQGenGridK: *gridK, TQGenRounds: *rounds,
+		TQGenGridK: *gridK, TQGenRounds: *rounds, GridAgg: *gridAgg,
 	}
 
 	// Observability: one registry + observer instruments every engine

@@ -30,6 +30,7 @@ import (
 	"syscall"
 
 	"acquire/acq"
+	gridindex "acquire/internal/index"
 )
 
 func main() {
@@ -61,6 +62,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		delta   = fs.Float64("delta", 0.05, "aggregate error threshold δ")
 		norm    = fs.String("norm", "l1", "refinement norm: l1, l2, linf")
 		index   = fs.String("gridindex", "", "build a §7.4 grid index: table:col1,col2[:bins]")
+		gridAgg = fs.Bool("gridagg", false, "build an aggregate-augmented grid over the query's select dimensions (single-table queries)")
 		maxOut  = fs.Int("max", 5, "maximum refined queries to print")
 		taxPath = fs.String("taxonomy", "", "make a string predicate refinable: column=outline-file (§7.3)")
 		explain = fs.Bool("explain", false, "print the search trace (one line per explored refined query)")
@@ -194,6 +196,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	if *gridAgg {
+		if err := buildGridAgg(s, q); err != nil {
+			return err
+		}
+	}
+
 	orig, err := s.Estimate(q)
 	if err != nil {
 		return err
@@ -265,6 +273,53 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	return runErr
+}
+
+// buildGridAgg builds an aggregate-augmented grid from the parsed
+// query's select dimensions (-gridagg): the grid covers each refinable
+// column, materializing the constraint's aggregate column when it lives
+// on the queried table. Multi-table queries and non-select dimensions
+// are skipped with a note — the box kernel never engages for them.
+func buildGridAgg(s *acq.Session, q *acq.Query) error {
+	if len(q.Tables) != 1 {
+		fmt.Fprintln(os.Stderr, "acquire: -gridagg skipped (multi-table query)")
+		return nil
+	}
+	var cols []string
+	seen := map[string]bool{}
+	for i := range q.Dims {
+		d := &q.Dims[i]
+		switch d.Kind {
+		case acq.SelectLE, acq.SelectGE, acq.SelectEQ:
+		default:
+			fmt.Fprintln(os.Stderr, "acquire: -gridagg skipped (non-select dimension)")
+			return nil
+		}
+		key := strings.ToLower(d.Col.Column)
+		if !seen[key] {
+			seen[key] = true
+			cols = append(cols, d.Col.Column)
+		}
+	}
+	if len(cols) == 0 {
+		fmt.Fprintln(os.Stderr, "acquire: -gridagg skipped (no refinable dimensions)")
+		return nil
+	}
+	var aggCols []string
+	if a := q.Constraint.Attr; a.Column != "" && strings.EqualFold(a.Table, q.Tables[0]) {
+		aggCols = []string{a.Column}
+	}
+	rows, err := s.TableRows(q.Tables[0])
+	if err != nil {
+		return err
+	}
+	bins := gridindex.BinsForRows(len(cols), rows)
+	if err := s.BuildGridAggIndex(q.Tables[0], cols, aggCols, bins); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "acquire: aggregate grid over %s(%s) at %d bins/dim\n",
+		q.Tables[0], strings.Join(cols, ","), bins)
+	return nil
 }
 
 // multiFlag collects repeatable string flags.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"acquire/internal/agg"
+	"acquire/internal/exec"
 	"acquire/internal/norms"
 	"acquire/internal/obs"
 	"acquire/internal/relq"
@@ -207,6 +208,16 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 	o.Info("search.start", "gamma", opts.Gamma, "delta", opts.Delta,
 		"norm", opts.Norm.Name(), "dims", q.NumDims(), "target", target)
 
+	// Engine work attribution: when the evaluator exposes exec.Stats
+	// snapshots, search.done reports the deltas this search caused —
+	// rows scanned, grid skips, and the box kernel's merge/boundary
+	// split.
+	engStats, hasEngStats := x.engine.(interface{ Snapshot() exec.Stats })
+	var engBefore exec.Stats
+	if hasEngStats {
+		engBefore = engStats.Snapshot()
+	}
+
 	bestLayer := math.Inf(1) // minRefLayer: QScore of the first satisfying layer
 	var closestErr = math.Inf(1)
 
@@ -241,9 +252,16 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 		res.CellQueries = int(x.cellQueries.Load())
 		res.StoredPoints = x.storedPoints()
 		searchSpan.End()
-		o.Info("search.done", "satisfied", res.Satisfied, "explored", res.Explored,
+		attrs := []any{"satisfied", res.Satisfied, "explored", res.Explored,
 			"cell_queries", res.CellQueries, "stored_points", res.StoredPoints,
-			"exhausted", res.Exhausted)
+			"exhausted", res.Exhausted}
+		if hasEngStats {
+			d := engStats.Snapshot().Sub(engBefore)
+			attrs = append(attrs, "rows_scanned", d.RowsScanned,
+				"cells_skipped", d.CellsSkipped, "cells_merged", d.CellsMerged,
+				"boundary_rows", d.BoundaryRows)
+		}
+		o.Info("search.done", attrs...)
 		return res
 	}
 	// fail funnels mid-search errors: cancellation still reports the

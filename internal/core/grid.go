@@ -18,11 +18,14 @@ import (
 // of size γ/d along dimension i (§4).
 type point []int
 
-// key encodes the point for map storage.
+// key encodes the point for map storage: 4 little-endian bytes per
+// coordinate, so points are distinguished over the full 32-bit
+// coordinate range (a 3-byte encoding would alias coordinates 2^24
+// apart and corrupt the frontier's seen-set).
 func (p point) key() string {
-	b := make([]byte, 0, len(p)*3)
+	b := make([]byte, 0, len(p)*4)
 	for _, c := range p {
-		b = append(b, byte(c), byte(c>>8), byte(c>>16))
+		b = append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
 	}
 	return string(b)
 }

@@ -153,6 +153,28 @@ func TestPointKeyUniqueness(t *testing.T) {
 	}
 }
 
+// Regression: the old 3-byte-per-coordinate encoding truncated
+// coordinates to 24 bits, so points 2^24 steps apart shared a key and
+// the frontier's seen-set silently dropped one of them.
+func TestPointKeyHighCoordinates(t *testing.T) {
+	pairs := [][2]point{
+		{{1 << 24, 0}, {0, 0}},
+		{{1<<24 + 1, 0}, {1, 0}},
+		{{0, 1 << 25}, {0, 0}},
+		{{1 << 30, 1 << 30}, {1<<30 + 1<<24, 1 << 30}},
+	}
+	for _, pr := range pairs {
+		if pr[0].key() == pr[1].key() {
+			t.Errorf("points %v and %v share a key", pr[0], pr[1])
+		}
+	}
+	// Different lengths never alias either.
+	if (point{1}).key() == (point{1, 0}).key() {
+		// Length is implicit in the key's byte count.
+		t.Error("points of different dimensionality share a key")
+	}
+}
+
 func TestPointHeap(t *testing.T) {
 	var h pointHeap
 	rng := rand.New(rand.NewSource(9))

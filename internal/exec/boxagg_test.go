@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"acquire/internal/agg"
+	"acquire/internal/index"
+	"acquire/internal/relq"
+	"acquire/internal/tpch"
+)
+
+// usersQuery builds a single-table users ACQ with the given dims and
+// constraint spec.
+func usersQuery(f relq.AggFunc, attr string, dims ...relq.Dimension) *relq.Query {
+	c := relq.Constraint{Func: f, Op: relq.CmpEQ, Target: 1}
+	if attr != "" {
+		c.Attr = relq.ColumnRef{Table: "users", Column: attr}
+	}
+	return &relq.Query{Tables: []string{"users"}, Dims: dims, Constraint: c}
+}
+
+func usersDims() []relq.Dimension {
+	return []relq.Dimension{
+		{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "users", Column: "age"}, Bound: 40, Width: 62},
+		{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "users", Column: "income"}, Bound: 80000, Width: 180000},
+		{Kind: relq.SelectGE, Col: relq.ColumnRef{Table: "users", Column: "distance"}, Bound: 60, Width: 100},
+	}
+}
+
+// TestBoxKernelMatchesScan is the property test of the box-aggregate
+// kernel: across randomized regions and COUNT/SUM/MIN/MAX constraints,
+// an engine answering through the aggregate grid must agree with a
+// grid-less engine running the scan path — COUNT partials bit for bit,
+// SUM within float re-association tolerance (the kernel merges
+// cell-order partials, the scan folds row chunks).
+func TestBoxKernelMatchesScan(t *testing.T) {
+	const rows = 5000
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := New(cat)
+	kern := New(cat)
+	cols := []string{"age", "income", "distance"}
+	if err := kern.BuildGridAggIndex("users", cols, []string{"spend"}, index.BinsForRows(3, rows)); err != nil {
+		t.Fatal(err)
+	}
+
+	dims := usersDims()
+	queries := []*relq.Query{
+		usersQuery(relq.AggCount, "", dims...),
+		usersQuery(relq.AggSum, "spend", dims...),
+		usersQuery(relq.AggMin, "spend", dims...),
+		usersQuery(relq.AggMax, "spend", dims...),
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	randRegion := func() relq.Region {
+		r := make(relq.Region, len(dims))
+		for i := range r {
+			hi := rng.Float64() * 80
+			if rng.Intn(2) == 0 {
+				r[i] = relq.ViolInterval{Lo: -1, Hi: hi} // prefix
+			} else {
+				r[i] = relq.ViolInterval{Lo: hi * rng.Float64(), Hi: hi} // cell-style band
+			}
+		}
+		return r
+	}
+
+	before := kern.Snapshot()
+	nonzero := 0
+	for trial := 0; trial < 120; trial++ {
+		region := randRegion()
+		for _, q := range queries {
+			want, err := scan.Aggregate(q, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := kern.Aggregate(q, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max {
+				t.Fatalf("trial %d %v region %v:\nkernel %+v\nscan   %+v",
+					trial, q.Constraint.Func, region, got, want)
+			}
+			if !agg.ApproxEqual(got, want, 1e-9) {
+				t.Fatalf("trial %d %v region %v: sum diverged\nkernel %+v\nscan   %+v",
+					trial, q.Constraint.Func, region, got, want)
+			}
+			if q.Constraint.Func == relq.AggCount && got.Sum != want.Sum {
+				t.Fatalf("trial %d COUNT sum not bit-identical: %v vs %v", trial, got.Sum, want.Sum)
+			}
+			spec, err := agg.SpecFor(q.Constraint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gf, wf := spec.Final(got), spec.Final(want)
+			if gf != wf && !(math.IsNaN(gf) && math.IsNaN(wf)) &&
+				math.Abs(gf-wf) > 1e-9*(1+math.Abs(wf)) {
+				t.Fatalf("trial %d: Final %v vs %v", trial, gf, wf)
+			}
+			if want.Count > 0 {
+				nonzero++
+			}
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("property test never produced a non-empty region — workload bug")
+	}
+	d := kern.Snapshot().Sub(before)
+	if d.CellsMerged == 0 {
+		t.Errorf("kernel never merged interior cells (CellsMerged = 0)")
+	}
+	if d.BoundaryRows == 0 {
+		t.Errorf("kernel never scanned boundary rows (BoundaryRows = 0)")
+	}
+	if ds := scan.Snapshot(); ds.CellsMerged != 0 || ds.BoundaryRows != 0 {
+		t.Errorf("grid-less engine used the kernel: %+v", ds)
+	}
+}
+
+// TestBoxKernelSelectEQ covers the V-shaped kind: a single band
+// (Lo <= 0) is kernel-eligible; a split band (Lo > 0) falls back to the
+// scan path. Both must agree with the grid-less engine.
+func TestBoxKernelSelectEQ(t *testing.T) {
+	const rows = 3000
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := New(cat)
+	kern := New(cat)
+	if err := kern.BuildGridAggIndex("users", []string{"age", "income"}, nil, 40); err != nil {
+		t.Fatal(err)
+	}
+	q := usersQuery(relq.AggCount, "",
+		relq.Dimension{Kind: relq.SelectEQ, Col: relq.ColumnRef{Table: "users", Column: "age"}, Bound: 45, Width: 62},
+		relq.Dimension{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "users", Column: "income"}, Bound: 100000, Width: 180000},
+	)
+
+	single := relq.Region{{Lo: -1, Hi: 30}, {Lo: -1, Hi: 20}}
+	split := relq.Region{{Lo: 10, Hi: 30}, {Lo: -1, Hi: 20}}
+	for name, region := range map[string]relq.Region{"single-band": single, "split-band": split} {
+		want, err := scan.Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := kern.Snapshot()
+		got, err := kern.Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != want.Count {
+			t.Fatalf("%s: count %d, want %d", name, got.Count, want.Count)
+		}
+		d := kern.Snapshot().Sub(before)
+		engaged := d.CellsMerged+d.BoundaryRows > 0
+		if name == "split-band" && engaged {
+			t.Errorf("split SelectEQ band must fall back to the scan path, got %+v", d)
+		}
+	}
+}
+
+// TestBoxKernelFallback: joins, UDAs, fixed predicates and unindexed
+// dimensions must bypass the kernel and still return scan-path results.
+func TestBoxKernelFallback(t *testing.T) {
+	const rows = 2000
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := New(cat)
+	kern := New(cat)
+	if err := kern.BuildGridAggIndex("users", []string{"age", "income"}, nil, 32); err != nil {
+		t.Fatal(err)
+	}
+	region := relq.Region{{Lo: -1, Hi: 25}, {Lo: -1, Hi: 25}}
+
+	fixed := usersQuery(relq.AggCount, "",
+		relq.Dimension{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "users", Column: "age"}, Bound: 40, Width: 62},
+		relq.Dimension{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "users", Column: "income"}, Bound: 80000, Width: 180000},
+	)
+	fixed.Fixed = []relq.FixedPred{{
+		Kind:   relq.FixedStringIn,
+		Col:    relq.ColumnRef{Table: "users", Column: "gender"},
+		Values: []string{"Women"},
+	}}
+	unindexed := usersQuery(relq.AggCount, "",
+		relq.Dimension{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "users", Column: "age"}, Bound: 40, Width: 62},
+		relq.Dimension{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "users", Column: "sessions"}, Bound: 20, Width: 50},
+	)
+	aggUnindexed := usersQuery(relq.AggSum, "spend",
+		relq.Dimension{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "users", Column: "age"}, Bound: 40, Width: 62},
+		relq.Dimension{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "users", Column: "income"}, Bound: 80000, Width: 180000},
+	) // spend not materialized in this grid
+
+	for name, q := range map[string]*relq.Query{
+		"fixed-pred": fixed, "unindexed-dim": unindexed, "unmaterialized-agg": aggUnindexed,
+	} {
+		want, err := scan.Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := kern.Snapshot()
+		got, err := kern.Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: kernel-engine %+v, scan-engine %+v", name, got, want)
+		}
+		if d := kern.Snapshot().Sub(before); d.CellsMerged != 0 || d.BoundaryRows != 0 {
+			t.Errorf("%s: kernel engaged on ineligible query: %+v", name, d)
+		}
+	}
+}
+
+// TestBuildGridAggIdempotent: rebuilding with the same shape keeps the
+// registered grid; a different shape replaces it.
+func TestBuildGridAggIdempotent(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(cat)
+	if err := e.BuildGridAggIndex("users", []string{"age", "income"}, []string{"spend"}, 16); err != nil {
+		t.Fatal(err)
+	}
+	g1 := e.grid("users")
+	if err := e.BuildGridAggIndex("users", []string{"AGE", "Income"}, []string{"SPEND"}, 16); err != nil {
+		t.Fatal(err)
+	}
+	if e.grid("users") != g1 {
+		t.Error("same-shape rebuild replaced the grid")
+	}
+	if err := e.BuildGridAggIndex("users", []string{"age"}, nil, 16); err != nil {
+		t.Fatal(err)
+	}
+	if e.grid("users") == g1 {
+		t.Error("different-shape rebuild kept the old grid")
+	}
+}

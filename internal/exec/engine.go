@@ -40,6 +40,13 @@ type Stats struct {
 	// CellsSkipped counts queries answered empty by the grid index
 	// without scanning (§7.4).
 	CellsSkipped int64
+	// CellsMerged counts grid cells answered by merging stored per-cell
+	// partials (the box-aggregate kernel's interior cells) — zero rows
+	// touched per cell.
+	CellsMerged int64
+	// BoundaryRows counts rows scanned from boundary-cell posting lists
+	// by the box-aggregate kernel (also included in RowsScanned).
+	BoundaryRows int64
 }
 
 // Sub returns the counter deltas s minus prev — the work performed
@@ -50,6 +57,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		RowsScanned:    s.RowsScanned - prev.RowsScanned,
 		TuplesExamined: s.TuplesExamined - prev.TuplesExamined,
 		CellsSkipped:   s.CellsSkipped - prev.CellsSkipped,
+		CellsMerged:    s.CellsMerged - prev.CellsMerged,
+		BoundaryRows:   s.BoundaryRows - prev.BoundaryRows,
 	}
 }
 
@@ -62,18 +71,22 @@ type statsCells struct {
 	rowsScanned    atomic.Int64
 	tuplesExamined atomic.Int64
 	cellsSkipped   atomic.Int64
+	cellsMerged    atomic.Int64
+	boundaryRows   atomic.Int64
 }
 
 // engineObs holds the pre-resolved observability handles of an
 // attached observer, so the hot path pays one nil check and direct
 // atomic increments — no registry lookups per query.
 type engineObs struct {
-	o        *obs.Observer
-	queries  *obs.Counter
-	rows     *obs.Counter
-	tuples   *obs.Counter
-	cells    *obs.Counter
-	queryDur *obs.Histogram
+	o           *obs.Observer
+	queries     *obs.Counter
+	rows        *obs.Counter
+	tuples      *obs.Counter
+	cells       *obs.Counter
+	cellsMerged *obs.Counter
+	boundary    *obs.Counter
+	queryDur    *obs.Histogram
 }
 
 // Engine executes relq queries against a catalog.
@@ -132,12 +145,14 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 		return
 	}
 	e.obsState.Store(&engineObs{
-		o:        o,
-		queries:  o.Counter("acquire_engine_queries_total", "Evaluation-layer query executions (cell and whole queries)."),
-		rows:     o.Counter("acquire_engine_rows_scanned_total", "Base-table rows touched by scans."),
-		tuples:   o.Counter("acquire_engine_tuples_examined_total", "Join tuples tested against regions."),
-		cells:    o.Counter("acquire_engine_cells_skipped_total", "Queries answered empty by the grid index without scanning (§7.4)."),
-		queryDur: o.Histogram(`acquire_phase_duration_seconds{phase="evaluate"}`, "Duration of search/engine phases by phase name.", nil),
+		o:           o,
+		queries:     o.Counter("acquire_engine_queries_total", "Evaluation-layer query executions (cell and whole queries)."),
+		rows:        o.Counter("acquire_engine_rows_scanned_total", "Base-table rows touched by scans."),
+		tuples:      o.Counter("acquire_engine_tuples_examined_total", "Join tuples tested against regions."),
+		cells:       o.Counter("acquire_engine_cells_skipped_total", "Queries answered empty by the grid index without scanning (§7.4)."),
+		cellsMerged: o.Counter("acquire_engine_cells_merged_total", "Grid cells answered by merging stored per-cell partials (box-aggregate kernel interior cells)."),
+		boundary:    o.Counter("acquire_engine_boundary_rows_total", "Rows scanned from boundary-cell posting lists by the box-aggregate kernel."),
+		queryDur:    o.Histogram(`acquire_phase_duration_seconds{phase="evaluate"}`, "Duration of search/engine phases by phase name.", nil),
 	})
 }
 
@@ -161,6 +176,8 @@ func (e *Engine) Snapshot() Stats {
 		RowsScanned:    c.rowsScanned.Load(),
 		TuplesExamined: c.tuplesExamined.Load(),
 		CellsSkipped:   c.cellsSkipped.Load(),
+		CellsMerged:    c.cellsMerged.Load(),
+		BoundaryRows:   c.boundaryRows.Load(),
 	}
 }
 
@@ -193,6 +210,20 @@ func (e *Engine) countTuples(n int64) {
 	}
 }
 
+func (e *Engine) countCellsMerged(n int64) {
+	e.stats.Load().cellsMerged.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.cellsMerged.Add(n)
+	}
+}
+
+func (e *Engine) countBoundaryRows(n int64) {
+	e.stats.Load().boundaryRows.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.boundary.Add(n)
+	}
+}
+
 // BuildGridIndex builds and registers a §7.4 grid bitmap index over the
 // named numeric columns of a table. Subsequent Aggregate calls use it to
 // skip empty cell queries on that table.
@@ -209,6 +240,54 @@ func (e *Engine) BuildGridIndex(table string, columns []string, binsPerDim int) 
 	e.grids[strings.ToLower(table)] = g
 	e.mu.Unlock()
 	return nil
+}
+
+// BuildGridAggIndex builds and registers an aggregate-augmented grid
+// over the named numeric columns: per-cell COUNT, SUM/MIN/MAX of each
+// aggCols column, and posting lists. Subsequent Aggregate calls on the
+// table answer eligible single-table box queries from the stored
+// partials (interior cells) plus posting-list scans (boundary cells).
+// The build is idempotent: when the registered grid already covers the
+// same columns and aggregate columns it is kept as is.
+func (e *Engine) BuildGridAggIndex(table string, columns, aggCols []string, binsPerDim int) error {
+	if g := e.grid(table); g != nil && g.HasAggs() && sameColumns(g.Columns(), columns) {
+		all := true
+		for _, c := range aggCols {
+			if g.AggIndex(c) < 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+	}
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	g, err := index.BuildAgg(t, columns, aggCols, binsPerDim, e.workers())
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.grids[strings.ToLower(table)] = g
+	e.mu.Unlock()
+	return nil
+}
+
+// sameColumns reports case-insensitive equality of two ordered column
+// lists.
+func sameColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !strings.EqualFold(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // DropGridIndex removes a table's grid index.
@@ -283,6 +362,12 @@ func (e *Engine) aggregateRegion(b *binding, region relq.Region, eo *engineObs) 
 			}
 			return agg.Zero(), nil
 		}
+	}
+
+	// Box-aggregate kernel: eligible single-table queries are answered
+	// from the aggregate grid's stored partials and posting lists.
+	if p, ok, err := e.boxAggregate(b, region, eo); ok || err != nil {
+		return p, err
 	}
 
 	// Phase 1: per-table candidate scan.

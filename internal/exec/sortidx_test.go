@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"math"
+	"testing"
+)
+
+// sortedFrom builds a sortedIdx directly from an already-sorted value
+// slice, with row ids equal to sort positions.
+func sortedFrom(vals ...float64) *sortedIdx {
+	ix := &sortedIdx{vals: vals, rows: make([]int32, len(vals))}
+	for i := range ix.rows {
+		ix.rows[i] = int32(i)
+	}
+	return ix
+}
+
+func TestRangeSizeEdgeCases(t *testing.T) {
+	empty := sortedFrom()
+	uniform := sortedFrom(5, 5, 5, 5) // degenerate all-equal column
+	normal := sortedFrom(1, 2, 3, 4, 5, 6)
+
+	cases := []struct {
+		name   string
+		ix     *sortedIdx
+		lo, hi float64
+		want   int
+	}{
+		{"empty index", empty, 0, 10, 0},
+		{"empty index reversed", empty, 10, 0, 0},
+		{"reversed bounds", normal, 4, 2, 0},
+		{"below domain", normal, -5, 0, 0},
+		{"above domain", normal, 7, 100, 0},
+		{"full cover", normal, 0, 10, 6},
+		{"inclusive endpoints", normal, 2, 4, 3},
+		{"single value hit", normal, 3, 3, 1},
+		{"single value miss", normal, 2.5, 2.6, 0},
+		{"all-equal hit", uniform, 5, 5, 4},
+		{"all-equal cover", uniform, 0, 10, 4},
+		{"all-equal below", uniform, 0, 4.9, 0},
+		{"all-equal above", uniform, 5.1, 10, 0},
+		{"all-equal reversed", uniform, 5, 4, 0},
+		{"unbounded", normal, math.Inf(-1), math.Inf(1), 6},
+	}
+	for _, c := range cases {
+		if got := c.ix.rangeSize(c.lo, c.hi); got != c.want {
+			t.Errorf("%s: rangeSize(%v, %v) = %d, want %d", c.name, c.lo, c.hi, got, c.want)
+		}
+		// rangeRows must agree with rangeSize on cardinality, and return
+		// nil (not an empty non-nil slice) for empty ranges.
+		rows := c.ix.rangeRows(c.lo, c.hi)
+		if len(rows) != c.want {
+			t.Errorf("%s: rangeRows returned %d rows, want %d", c.name, len(rows), c.want)
+		}
+		if c.want == 0 && rows != nil {
+			t.Errorf("%s: empty range returned non-nil slice", c.name)
+		}
+	}
+}
+
+func TestRangeRowsContents(t *testing.T) {
+	// Duplicated values: every duplicate's row id must be returned.
+	ix := &sortedIdx{
+		vals: []float64{1, 2, 2, 2, 3},
+		rows: []int32{4, 0, 2, 3, 1},
+	}
+	got := ix.rangeRows(2, 2)
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("rangeRows(2,2) = %v, want [0 2 3]", got)
+	}
+	if n := ix.rangeSize(2, 2); n != 3 {
+		t.Errorf("rangeSize(2,2) = %d, want 3", n)
+	}
+	// Half-open boundary behavior: [lo, hi] is closed on both sides.
+	if got := ix.rangeRows(2, 3); len(got) != 4 {
+		t.Errorf("rangeRows(2,3) = %v, want 4 rows", got)
+	}
+	if got := ix.rangeRows(1, 1.5); len(got) != 1 || got[0] != 4 {
+		t.Errorf("rangeRows(1,1.5) = %v, want [4]", got)
+	}
+}

@@ -128,6 +128,11 @@ func Figure10b(ctx context.Context, cfg Config) ([]Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.GridAgg {
+			if err := ensureGridAgg(e, q); err != nil {
+				return nil, err
+			}
+		}
 		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: g, Delta: cfg.Delta, Observer: cfg.Obs})
 		if err != nil {
 			return nil, err
@@ -160,6 +165,11 @@ func Figure10c(ctx context.Context, cfg Config) ([]Figure, error) {
 		})
 		if err != nil {
 			return nil, err
+		}
+		if cfg.GridAgg {
+			if err := ensureGridAgg(e, q); err != nil {
+				return nil, err
+			}
 		}
 		m, err := RunACQUIRE(ctx, e, q, core.Options{Gamma: cfg.Gamma, Delta: d, RepartitionDepth: 12, Observer: cfg.Obs})
 		if err != nil {

@@ -14,9 +14,12 @@ import (
 	"math"
 	"time"
 
+	"strings"
+
 	"acquire/internal/baseline"
 	"acquire/internal/core"
 	"acquire/internal/exec"
+	"acquire/internal/index"
 	"acquire/internal/obs"
 	"acquire/internal/relq"
 	"acquire/internal/tpch"
@@ -41,6 +44,10 @@ type Config struct {
 	// TQGenGridK / TQGenRounds bound the TQGen baseline's cost.
 	TQGenGridK  int
 	TQGenRounds int
+	// GridAgg builds an aggregate-augmented grid over each workload
+	// query's select dimensions, so eligible cell queries are answered
+	// from stored per-cell partials instead of scans (-gridagg).
+	GridAgg bool
 	// Obs instruments every engine and search the harness builds
 	// (metrics, phase spans, events); nil runs uninstrumented. Excluded
 	// from results JSON — it is a live handle, not a parameter.
@@ -217,14 +224,61 @@ func acquireOpts(cfg Config) core.Options {
 	return core.Options{Gamma: cfg.Gamma, Delta: cfg.Delta, Observer: cfg.Obs}
 }
 
+// ensureGridAgg builds (idempotently) an aggregate-augmented grid over
+// a single-table query's select-dimension columns, materializing the
+// constraint's aggregate column when it lives on the same table. Joins
+// and non-select dimensions leave the engine untouched — the kernel
+// would never engage for them.
+func ensureGridAgg(e *exec.Engine, q *relq.Query) error {
+	if len(q.Tables) != 1 {
+		return nil
+	}
+	var cols []string
+	seen := make(map[string]bool)
+	for i := range q.Dims {
+		d := &q.Dims[i]
+		switch d.Kind {
+		case relq.SelectLE, relq.SelectGE, relq.SelectEQ:
+		default:
+			return nil
+		}
+		key := strings.ToLower(d.Col.Column)
+		if !seen[key] {
+			seen[key] = true
+			cols = append(cols, d.Col.Column)
+		}
+	}
+	if len(cols) == 0 {
+		return nil
+	}
+	var aggCols []string
+	if a := q.Constraint.Attr; a.Column != "" && strings.EqualFold(a.Table, q.Tables[0]) {
+		aggCols = []string{a.Column}
+	}
+	t, err := e.Catalog().Table(q.Tables[0])
+	if err != nil {
+		return err
+	}
+	return e.BuildGridAggIndex(q.Tables[0], cols, aggCols, index.BinsForRows(len(cols), t.NumRows()))
+}
+
 // compareAll runs all four methods on a freshly calibrated Users query.
 func compareAll(ctx context.Context, e *exec.Engine, cfg Config, dims int, ratio float64) (map[string]Measurement, error) {
 	out := make(map[string]Measurement, 4)
 
 	build := func() (*relq.Query, error) {
-		return workload.BuildCalibrated(e, workload.Spec{
+		q, err := workload.BuildCalibrated(e, workload.Spec{
 			Kind: workload.Users, Dims: dims, Agg: relq.AggCount, Ratio: ratio,
 		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.GridAgg {
+			if err := ensureGridAgg(e, q); err != nil {
+				return nil, err
+			}
+		}
+		return q, nil
 	}
 
 	q, err := build()

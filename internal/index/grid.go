@@ -15,8 +15,39 @@ import (
 // maxCells caps the bitmap size (bits). 2^22 bits = 512 KiB.
 const maxCells = 1 << 22
 
+// MaxAggCells caps aggregate-augmented grids, which carry per-cell
+// partials (8 B count + 4 B posting offset + 24 B per aggregate
+// column) rather than one bit. 2^18 cells keeps the steady-state
+// payload around 9 MiB/column and the transient build memory (one
+// dense accumulator per build shard) under ~70 MiB at the cap; see
+// DESIGN.md for the policy.
+const MaxAggCells = 1 << 18
+
+// buildShards is the fixed number of row shards of BuildAgg. It is a
+// constant — not a function of the worker count — so the §2.6 shard
+// merge tree, and therefore the float association of every per-cell
+// SUM, depends only on the input, making the payload bit-identical
+// across worker counts (the same trick as exec's fixed fold chunks).
+const buildShards = 8
+
+// cellAggs is the aggregate payload of an aggregate-augmented grid:
+// per-cell COUNT plus SUM/MIN/MAX of each registered aggregate column,
+// and a CSR posting list mapping each cell to its row ids.
+type cellAggs struct {
+	cols   []string    // aggregate column names, original case
+	counts []int64     // [cell]
+	sums   [][]float64 // [aggIdx][cell]
+	mins   [][]float64
+	maxs   [][]float64
+	// postStart[c]..postStart[c+1] index postRows; postRows holds every
+	// table row id, grouped by cell, ascending within each cell.
+	postStart []int32
+	postRows  []int32
+}
+
 // Grid is an immutable equi-width grid bitmap over k numeric columns of
-// one table.
+// one table, optionally augmented with per-cell aggregate partials and
+// posting lists (BuildAgg).
 type Grid struct {
 	table   string
 	columns []string
@@ -24,22 +55,24 @@ type Grid struct {
 	widths  []float64 // bin width per dimension (0 for degenerate domains)
 	bins    []int     // bins per dimension
 	strides []int
+	cells   int
 	bits    []uint64
+	aggs    *cellAggs // nil for plain bitmap grids
 }
 
-// Build constructs a grid over the named numeric columns with the given
-// number of bins per dimension.
-func Build(t *data.Table, columns []string, binsPerDim int) (*Grid, error) {
+// newGrid builds the shared geometry (bin edges, strides, bitmap
+// storage) and returns the indexed column vectors.
+func newGrid(t *data.Table, columns []string, binsPerDim, cellCap int) (*Grid, [][]float64, error) {
 	if len(columns) == 0 {
-		return nil, fmt.Errorf("index: no columns")
+		return nil, nil, fmt.Errorf("index: no columns")
 	}
 	if binsPerDim < 1 {
-		return nil, fmt.Errorf("index: binsPerDim must be >= 1, got %d", binsPerDim)
+		return nil, nil, fmt.Errorf("index: binsPerDim must be >= 1, got %d", binsPerDim)
 	}
 	total := 1
 	for range columns {
-		if total > maxCells/binsPerDim {
-			return nil, fmt.Errorf("index: grid of %d^%d cells exceeds cap", binsPerDim, len(columns))
+		if total > cellCap/binsPerDim {
+			return nil, nil, fmt.Errorf("index: grid of %d^%d cells exceeds cap", binsPerDim, len(columns))
 		}
 		total *= binsPerDim
 	}
@@ -51,6 +84,7 @@ func Build(t *data.Table, columns []string, binsPerDim int) (*Grid, error) {
 		widths:  make([]float64, len(columns)),
 		bins:    make([]int, len(columns)),
 		strides: make([]int, len(columns)),
+		cells:   total,
 		bits:    make([]uint64, (total+63)/64),
 	}
 
@@ -58,15 +92,15 @@ func Build(t *data.Table, columns []string, binsPerDim int) (*Grid, error) {
 	for i, col := range columns {
 		ord := t.Schema().Ordinal(col)
 		if ord < 0 {
-			return nil, fmt.Errorf("index: table %s has no column %q", t.Name(), col)
+			return nil, nil, fmt.Errorf("index: table %s has no column %q", t.Name(), col)
 		}
 		vec, err := t.NumericColumn(ord)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		stats, err := t.Stats(ord)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		vecs[i] = vec
 		g.mins[i] = stats.Min
@@ -80,7 +114,16 @@ func Build(t *data.Table, columns []string, binsPerDim int) (*Grid, error) {
 		g.strides[i] = stride
 		stride *= g.bins[i]
 	}
+	return g, vecs, nil
+}
 
+// Build constructs a grid over the named numeric columns with the given
+// number of bins per dimension.
+func Build(t *data.Table, columns []string, binsPerDim int) (*Grid, error) {
+	g, vecs, err := newGrid(t, columns, binsPerDim, maxCells)
+	if err != nil {
+		return nil, err
+	}
 	for row := 0; row < t.NumRows(); row++ {
 		cell := 0
 		for i := range columns {
