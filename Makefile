@@ -20,12 +20,15 @@ race:
 bench:
 	$(GO) test -run xxx -bench=. -benchmem .
 
-# Machine-readable baseline of the fig. 8 ratio sweep: figures, config
-# and the metric registry snapshot in one JSON file. The committed
-# BENCH_baseline.json is the reference artifact; regenerate after a
+# Machine-readable baselines: the fig. 8 ratio sweep and the cached
+# repeated-workload study — figures, config and the metric registry
+# snapshot in one JSON file each. The committed BENCH_baseline.json and
+# BENCH_cache.json are the reference artifacts; regenerate after a
 # perf-relevant change and compare before committing.
 bench-json:
 	$(GO) run ./cmd/acqbench -experiment fig8 -rows 20000 -json BENCH_baseline.json
+	$(GO) test -run xxx -bench BenchmarkRepeatedWorkload -benchtime 1x .
+	$(GO) run ./cmd/acqbench -experiment repeated -cache -rows 20000 -json BENCH_cache.json
 
 # Metrics-overhead guard: the exploration sweep bare vs with a live
 # registry/observer attached. The two ns/op columns should be within

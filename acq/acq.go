@@ -33,6 +33,7 @@ import (
 	"acquire/internal/core"
 	"acquire/internal/data"
 	"acquire/internal/exec"
+	"acquire/internal/exec/regioncache"
 	"acquire/internal/histogram"
 	"acquire/internal/norms"
 	"acquire/internal/obs"
@@ -173,6 +174,9 @@ type Session struct {
 	obs *obs.Observer
 	// searchSeq numbers RefineReport searches within the session.
 	searchSeq atomic.Int64
+	// cacheBytes is the region-cache capacity (0 = caching off); kept
+	// so an evaluation-layer switch re-attaches an equally sized cache.
+	cacheBytes int64
 }
 
 // NewSession creates an empty session; load tables with LoadCSV or
@@ -281,6 +285,66 @@ func (s *Session) RefineContext(ctx context.Context, q *Query, opts Options) (*R
 	return core.RunContext(ctx, s.eval, q, opts)
 }
 
+// DefaultCacheBytes is the region-cache capacity EnableCache uses when
+// passed 0: 64 MiB, roughly 400k cached partials.
+const DefaultCacheBytes = 64 << 20
+
+// CacheStats reports the region cache's hit/miss/eviction counters and
+// current size (see EnableCache).
+type CacheStats = regioncache.Stats
+
+// EnableCache attaches a cross-search partial-aggregate cache to the
+// session's evaluation layer: every region the refinement search
+// dispatches is first looked up by its canonical (query shape,
+// aggregate spec, region) fingerprint, so repeated or overlapping
+// searches — including concurrent ones on this session — reuse each
+// other's work. Cached partials are the exact bytes a cold execution
+// produces, so results are bit-identical with the cache on, off or
+// pre-warmed. maxBytes bounds the cache's memory (LRU eviction);
+// 0 selects DefaultCacheBytes. A sampling evaluation layer keeps its
+// own cache instance, sized equally, because its partials are
+// sample-space values.
+func (s *Session) EnableCache(maxBytes int64) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	s.cacheBytes = maxBytes
+	s.eng.SetRegionCache(regioncache.New(maxBytes))
+	if sm, ok := s.eval.(*exec.Sampled); ok {
+		sm.SetRegionCache(regioncache.New(maxBytes))
+	}
+}
+
+// DisableCache detaches the session's region caches; searches execute
+// every region again.
+func (s *Session) DisableCache() {
+	s.cacheBytes = 0
+	s.eng.SetRegionCache(nil)
+	if sm, ok := s.eval.(*exec.Sampled); ok {
+		sm.SetRegionCache(nil)
+	}
+}
+
+// InvalidateCache drops every cached partial. Sessions mutating table
+// contents in place (outside ApplyTaxonomy, which invalidates
+// automatically) must call it before the next search; appends retire
+// their stale entries automatically via row-count generations.
+func (s *Session) InvalidateCache() {
+	s.eng.InvalidateRegionCache()
+	if sm, ok := s.eval.(*exec.Sampled); ok {
+		sm.InvalidateRegionCache()
+	}
+}
+
+// CacheStats returns the region cache's counters; the zero value when
+// caching is disabled.
+func (s *Session) CacheStats() CacheStats {
+	if c := s.eng.RegionCache(); c != nil {
+		return c.Stats()
+	}
+	return CacheStats{}
+}
+
 // UseSampling switches the evaluation layer to exact execution over a
 // Bernoulli sample with extrapolated COUNT/SUM aggregates (§3's
 // "sampling" alternative). Refinements get cheaper and noisier; the
@@ -291,6 +355,9 @@ func (s *Session) UseSampling(fraction float64, seed int64) error {
 		return err
 	}
 	sampled.SetObserver(s.obs)
+	if s.cacheBytes > 0 {
+		sampled.SetRegionCache(regioncache.New(s.cacheBytes))
+	}
 	s.eval = sampled
 	return nil
 }
@@ -405,6 +472,12 @@ func (s *Session) ApplyTaxonomy(tree *Taxonomy, table, column string, target []s
 		return Dimension{}, err
 	}
 	s.cat.Replace(rewritten)
+	// The replacement keeps the row count, which generation checks
+	// cannot see: drop all engine state derived from the old table.
+	s.eng.InvalidateTable(table)
+	if sm, ok := s.eval.(*exec.Sampled); ok {
+		sm.InvalidateRegionCache()
+	}
 	return dim, nil
 }
 

@@ -473,3 +473,37 @@ func BenchmarkGridAggBuild(b *testing.B) {
 	b.ReportMetric(float64(g.NumCells()), "cells")
 	b.ReportMetric(float64(g.AggBytes()), "payload-bytes")
 }
+
+// BenchmarkRepeatedWorkload times the cross-search partial-aggregate
+// cache on the fig. 8 workload replayed over RepeatedSessions sessions
+// sharing one engine: the first session fills the cache, later
+// identical sessions reuse its region executions. Reports cold vs warm
+// evaluation-layer executions (the acceptance target is a >=5x
+// reduction), the warm-session hit rate and the cold/warm wall-time
+// ratio; results are bit-identical with the cache on or off.
+func BenchmarkRepeatedWorkload(b *testing.B) {
+	cfg := benchCfg()
+	cfg.CacheMB = 64
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.RepeatedWorkload(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		execs := seriesY(b, figs[0], "ACQUIRE")
+		millis := seriesY(b, figs[1], "ACQUIRE")
+		hitRate := seriesY(b, figs[2], "ACQUIRE")
+		cold, warm := execs[0], mean(execs[1:])
+		b.ReportMetric(cold, "cold-execs")
+		b.ReportMetric(warm, "warm-execs")
+		if warm > 0 {
+			b.ReportMetric(cold/warm, "cold/warm-execs")
+		}
+		b.ReportMetric(mean(hitRate[1:]), "warm-hit-rate")
+		if w := mean(millis[1:]); w > 0 {
+			b.ReportMetric(millis[0]/w, "cold/warm-time")
+		}
+		if warm*5 > cold {
+			b.Fatalf("warm sessions executed %.0f queries vs cold %.0f; want >=5x reduction", warm, cold)
+		}
+	}
+}

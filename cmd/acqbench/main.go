@@ -68,6 +68,9 @@ var experiments = []experiment{
 	{"ablation-gridindex", "grid bitmap index ablation (§7.4)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
 		return harness.AblationGridIndex(ctx, c)
 	}},
+	{"repeated", "repeated-workload study: cross-search partial-aggregate cache (pair with -cache)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.RepeatedWorkload(ctx, c)
+	}},
 }
 
 func main() {
@@ -98,6 +101,8 @@ func run(ctx context.Context, args []string) error {
 		gridK   = fs.Int("tqgen-k", 0, "TQGen grid values per predicate (default 8)")
 		rounds  = fs.Int("tqgen-rounds", 0, "TQGen zoom rounds (default 5)")
 		gridAgg = fs.Bool("gridagg", false, "build aggregate-augmented grids: answer eligible cell queries from stored per-cell partials")
+		cache   = fs.Bool("cache", false, "attach a cross-search partial-aggregate cache to every engine")
+		cacheMB = fs.Int("cache-mb", 64, "region cache capacity in MiB (with -cache)")
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while experiments run")
 		logJSON = fs.Bool("log-json", false, "emit structured search/engine events as JSON on stderr")
 		jsonOut = fs.String("json", "", "also write figures + config + metric snapshot as JSON to this file")
@@ -108,6 +113,9 @@ func run(ctx context.Context, args []string) error {
 	cfg := harness.Config{
 		Rows: *rows, Seed: *seed, Delta: *delta, Gamma: *gamma,
 		TQGenGridK: *gridK, TQGenRounds: *rounds, GridAgg: *gridAgg,
+	}
+	if *cache {
+		cfg.CacheMB = *cacheMB
 	}
 
 	// Observability: one registry + observer instruments every engine

@@ -63,6 +63,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		norm    = fs.String("norm", "l1", "refinement norm: l1, l2, linf")
 		index   = fs.String("gridindex", "", "build a §7.4 grid index: table:col1,col2[:bins]")
 		gridAgg = fs.Bool("gridagg", false, "build an aggregate-augmented grid over the query's select dimensions (single-table queries)")
+		cache   = fs.Bool("cache", false, "cache partial aggregates across searches (results stay bit-identical)")
+		cacheMB = fs.Int("cache-mb", 64, "partial-aggregate cache capacity in MiB (with -cache)")
 		maxOut  = fs.Int("max", 5, "maximum refined queries to print")
 		taxPath = fs.String("taxonomy", "", "make a string predicate refinable: column=outline-file (§7.3)")
 		explain = fs.Bool("explain", false, "print the search trace (one line per explored refined query)")
@@ -201,6 +203,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *cache {
+		s.EnableCache(int64(*cacheMB) << 20)
+	}
 
 	orig, err := s.Estimate(q)
 	if err != nil {
@@ -230,6 +235,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	st := s.Stats()
 	fmt.Fprintf(out, "explored %d refined queries via %d evaluation-layer executions (%d rows scanned)\n",
 		res.Explored, st.Queries, st.RowsScanned)
+	if *cache {
+		fmt.Fprintf(out, "partial-aggregate cache: %d hits, %d misses\n", st.CacheHits, st.CacheMisses)
+	}
 
 	if !res.Satisfied {
 		fmt.Fprintf(out, "no refinement met the constraint within δ=%g", *delta)

@@ -251,6 +251,7 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 		}
 		res.CellQueries = int(x.cellQueries.Load())
 		res.StoredPoints = x.storedPoints()
+		x.release()
 		searchSpan.End()
 		attrs := []any{"satisfied", res.Satisfied, "explored", res.Explored,
 			"cell_queries", res.CellQueries, "stored_points", res.StoredPoints,
@@ -259,7 +260,8 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 			d := engStats.Snapshot().Sub(engBefore)
 			attrs = append(attrs, "rows_scanned", d.RowsScanned,
 				"cells_skipped", d.CellsSkipped, "cells_merged", d.CellsMerged,
-				"boundary_rows", d.BoundaryRows)
+				"boundary_rows", d.BoundaryRows,
+				"cache_hits", d.CacheHits, "cache_misses", d.CacheMisses)
 		}
 		o.Info("search.done", attrs...)
 		return res

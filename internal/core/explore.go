@@ -26,14 +26,14 @@ type explorer struct {
 	spec   agg.Spec
 
 	incremental bool
-	// store maps point key -> the d+1 sub-query partials
+	// store maps grid point -> the d+1 sub-query partials
 	// [O1 (cell), O2 (pillar), ..., Od+1 (whole query)] of §5.1.1.
-	store map[string][]agg.Partial
-	// cache maps point key -> the prefetched batch result for the
+	store *pstore[[]agg.Partial]
+	// cache maps grid point -> the prefetched batch result for the
 	// point: its cell partial in incremental mode, its whole-query
 	// partial in naive mode. Entries are consumed (deleted) on first
 	// use; the store memoizes everything that must persist.
-	cache map[string]agg.Partial
+	cache *pstore[agg.Partial]
 
 	// cellQueries counts evaluation-layer round trips (cell executions
 	// in incremental mode, whole-query executions in naive mode).
@@ -43,14 +43,15 @@ type explorer struct {
 }
 
 func newExplorer(e Evaluator, q *relq.Query, sp *space, spec agg.Spec, incremental bool) *explorer {
+	keyer := newPointKeyer(sp)
 	return &explorer{
 		engine:      e,
 		q:           q,
 		sp:          sp,
 		spec:        spec,
 		incremental: incremental,
-		store:       make(map[string][]agg.Partial),
-		cache:       make(map[string]agg.Partial),
+		store:       newPstore[[]agg.Partial](keyer),
+		cache:       newPstore[agg.Partial](keyer),
 	}
 }
 
@@ -61,19 +62,18 @@ func newExplorer(e Evaluator, q *relq.Query, sp *space, spec agg.Spec, increment
 // exactly the executions the serial search would have issued, just
 // batched. Returns the batch width (number of regions dispatched).
 func (x *explorer) prefetch(ctx context.Context, pts []point) (int, error) {
-	keys := make([]string, 0, len(pts))
+	pend := make([]point, 0, len(pts))
 	regions := make([]relq.Region, 0, len(pts))
 	for _, p := range pts {
-		k := p.key()
 		if x.incremental {
-			if _, ok := x.store[k]; ok {
+			if _, ok := x.store.get(p); ok {
 				continue
 			}
 		}
-		if _, ok := x.cache[k]; ok {
+		if _, ok := x.cache.get(p); ok {
 			continue
 		}
-		keys = append(keys, k)
+		pend = append(pend, p)
 		if x.incremental {
 			regions = append(regions, relq.CellRegion(p, x.sp.step))
 		} else {
@@ -88,8 +88,8 @@ func (x *explorer) prefetch(ctx context.Context, pts []point) (int, error) {
 		return 0, err
 	}
 	x.cellQueries.Add(int64(len(regions)))
-	for i, k := range keys {
-		x.cache[k] = parts[i]
+	for i, p := range pend {
+		x.cache.put(p, parts[i])
 	}
 	return len(regions), nil
 }
@@ -98,9 +98,8 @@ func (x *explorer) prefetch(ctx context.Context, pts []point) (int, error) {
 // grid point p.
 func (x *explorer) aggregate(ctx context.Context, p point) (agg.Partial, error) {
 	if !x.incremental {
-		k := p.key()
-		if part, ok := x.cache[k]; ok {
-			delete(x.cache, k)
+		if part, ok := x.cache.get(p); ok {
+			x.cache.del(p)
 			return part, nil
 		}
 		x.cellQueries.Add(1)
@@ -127,9 +126,8 @@ func (x *explorer) evalOne(ctx context.Context, r relq.Region) (agg.Partial, err
 // prefetched cache when possible and falling back to an on-demand
 // execution otherwise.
 func (x *explorer) cellPartial(ctx context.Context, p point) (agg.Partial, error) {
-	k := p.key()
-	if part, ok := x.cache[k]; ok {
-		delete(x.cache, k)
+	if part, ok := x.cache.get(p); ok {
+		x.cache.del(p)
 		return part, nil
 	}
 	x.cellQueries.Add(1)
@@ -150,14 +148,14 @@ func (x *explorer) cellPartial(ctx context.Context, p point) (agg.Partial, error
 // chains are as long as the grid diagonal, and unbounded recursion
 // overflows the stack long before MaxExplored is reached.
 func (x *explorer) computeAll(ctx context.Context, p point) ([]agg.Partial, error) {
-	if parts, ok := x.store[p.key()]; ok {
+	if parts, ok := x.store.get(p); ok {
 		return parts, nil
 	}
 	d := x.sp.dims
 	stack := []point{p}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
-		if _, done := x.store[cur.key()]; done {
+		if _, done := x.store.get(cur); done {
 			stack = stack[:len(stack)-1]
 			continue
 		}
@@ -169,7 +167,7 @@ func (x *explorer) computeAll(ctx context.Context, p point) ([]agg.Partial, erro
 			}
 			prev := cur.clone()
 			prev[i]--
-			if _, ok := x.store[prev.key()]; !ok {
+			if _, ok := x.store.get(prev); !ok {
 				stack = append(stack, prev)
 				missing = true
 			}
@@ -193,14 +191,16 @@ func (x *explorer) computeAll(ctx context.Context, p point) ([]agg.Partial, erro
 			if cur[i-1] > 0 {
 				prev := cur.clone()
 				prev[i-1]--
-				prevPart = x.store[prev.key()][i]
+				prevParts, _ := x.store.get(prev)
+				prevPart = prevParts[i]
 			}
 			parts[i] = agg.Merge(parts[i-1], prevPart)
 		}
-		x.store[cur.key()] = parts
+		x.store.put(cur, parts)
 		stack = stack[:len(stack)-1]
 	}
-	return x.store[p.key()], nil
+	parts, _ := x.store.get(p)
+	return parts, nil
 }
 
 // directAggregate executes the whole refined query at an arbitrary
@@ -212,7 +212,18 @@ func (x *explorer) directAggregate(ctx context.Context, scores []float64) (agg.P
 }
 
 // storedPoints reports how many grid points hold cached sub-aggregates.
-func (x *explorer) storedPoints() int { return len(x.store) }
+func (x *explorer) storedPoints() int { return x.store.len() }
+
+// release frees the sub-aggregate store and the prefetch cache. The
+// driver calls it once the search result is finalised: a long-lived
+// session runs many searches against one engine, and with the
+// cross-search region cache holding the reusable state there is no
+// reason to pin a finished search's per-point maps until the explorer
+// itself is collected. The explorer must not be used afterwards.
+func (x *explorer) release() {
+	x.store.free()
+	x.cache.free()
+}
 
 // verifyAgainstDirect cross-checks the incremental aggregate at p with
 // a direct whole-query execution; testing hook. The full partial is

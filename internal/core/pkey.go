@@ -1,0 +1,101 @@
+package core
+
+import "math/bits"
+
+// pointKeyer chooses the map-key representation for a refined space's
+// grid points. When the per-dimension coordinate caps fit into 64 bits
+// total, a point packs into one uint64 — a fixed-size comparable key
+// that hashes without touching the heap. Otherwise the keyer falls
+// back to point.key()'s 4-byte-per-coordinate string encoding, which
+// stays collision-free over the full 32-bit coordinate range.
+type pointKeyer struct {
+	// widths[i] = bits.Len(maxCoord[i]): enough bits for 0..maxCoord[i].
+	widths   []uint
+	packable bool
+}
+
+func newPointKeyer(sp *space) *pointKeyer {
+	k := &pointKeyer{widths: make([]uint, sp.dims)}
+	total := uint(0)
+	for i, m := range sp.maxCoord {
+		k.widths[i] = uint(bits.Len(uint(m)))
+		total += k.widths[i]
+	}
+	k.packable = total <= 64
+	return k
+}
+
+// pack encodes p into a uint64; valid only when packable. Callers must
+// pass grid points of the keyer's space (0 <= p[i] <= maxCoord[i]) —
+// the Expand frontiers never emit coordinates past maxCoord, and the
+// Explore recurrence only decrements, so the invariant holds for every
+// point the explorer sees.
+func (k *pointKeyer) pack(p point) uint64 {
+	var v uint64
+	for i, c := range p {
+		v = v<<k.widths[i] | uint64(c)
+	}
+	return v
+}
+
+// pstore is a point-keyed map with a packed-uint64 fast path. The
+// explorer's store and cache sit on the hottest loop of the search —
+// every Eq. 17 fold performs several lookups per point — and hashing
+// a fixed-size integer is markedly cheaper than allocating and hashing
+// a string key.
+type pstore[V any] struct {
+	k    *pointKeyer
+	fast map[uint64]V
+	slow map[string]V
+}
+
+func newPstore[V any](k *pointKeyer) *pstore[V] {
+	s := &pstore[V]{k: k}
+	if k.packable {
+		s.fast = make(map[uint64]V)
+	} else {
+		s.slow = make(map[string]V)
+	}
+	return s
+}
+
+func (s *pstore[V]) get(p point) (V, bool) {
+	if s.k.packable {
+		v, ok := s.fast[s.k.pack(p)]
+		return v, ok
+	}
+	v, ok := s.slow[p.key()]
+	return v, ok
+}
+
+func (s *pstore[V]) put(p point, v V) {
+	if s.k.packable {
+		s.fast[s.k.pack(p)] = v
+	} else {
+		s.slow[p.key()] = v
+	}
+}
+
+func (s *pstore[V]) del(p point) {
+	if s.k.packable {
+		delete(s.fast, s.k.pack(p))
+	} else {
+		delete(s.slow, p.key())
+	}
+}
+
+func (s *pstore[V]) len() int {
+	if s.k.packable {
+		return len(s.fast)
+	}
+	return len(s.slow)
+}
+
+// free drops the backing maps so a finished search releases its
+// per-point state immediately instead of pinning it until the explorer
+// itself is collected. Reads after free miss; writes panic — the store
+// is dead.
+func (s *pstore[V]) free() {
+	s.fast = nil
+	s.slow = nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"acquire/internal/agg"
+)
+
+// Packed keys must be as collision-free as the string encoding over
+// the whole space: enumerate a grid whose widths sum to <= 64 bits and
+// assert every point packs to a distinct key.
+func TestPointKeyerPackUniqueness(t *testing.T) {
+	sp := &space{dims: 3, step: 1, maxCoord: []int{5, 9, 17}}
+	k := newPointKeyer(sp)
+	if !k.packable {
+		t.Fatal("small space not packable")
+	}
+	seen := make(map[uint64]string)
+	for a := 0; a <= 5; a++ {
+		for b := 0; b <= 9; b++ {
+			for c := 0; c <= 17; c++ {
+				p := point{a, b, c}
+				v := k.pack(p)
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("pack collision: %v and %s -> %d", p, prev, v)
+				}
+				seen[v] = p.key()
+			}
+		}
+	}
+}
+
+// Spaces whose coordinate caps overflow 64 packed bits fall back to
+// string keys; the store must behave identically on both paths.
+func TestPstoreBothPaths(t *testing.T) {
+	packed := newPointKeyer(&space{dims: 2, step: 1, maxCoord: []int{100, 100}})
+	wide := newPointKeyer(&space{dims: 3, step: 1, maxCoord: []int{1 << 30, 1 << 30, 1 << 30}})
+	if !packed.packable {
+		t.Fatal("2x100 grid should pack")
+	}
+	if wide.packable {
+		t.Fatal("3x2^30 grid cannot pack into 64 bits")
+	}
+
+	for _, k := range []*pointKeyer{packed, wide} {
+		s := newPstore[agg.Partial](k)
+		a, b := point{3, 4, 2}[:k2dims(k)], point{4, 3, 2}[:k2dims(k)]
+		if _, ok := s.get(a); ok {
+			t.Fatal("empty store reports a hit")
+		}
+		s.put(a, agg.Partial{Count: 1})
+		s.put(b, agg.Partial{Count: 2})
+		if got, ok := s.get(a); !ok || got.Count != 1 {
+			t.Fatalf("get(a) = %+v, %v", got, ok)
+		}
+		if got, ok := s.get(b); !ok || got.Count != 2 {
+			t.Fatalf("get(b) = %+v, %v", got, ok)
+		}
+		if s.len() != 2 {
+			t.Fatalf("len = %d, want 2", s.len())
+		}
+		s.put(a, agg.Partial{Count: 9}) // overwrite, not insert
+		if got, _ := s.get(a); got.Count != 9 {
+			t.Fatalf("overwrite lost: %+v", got)
+		}
+		if s.len() != 2 {
+			t.Fatalf("len after overwrite = %d, want 2", s.len())
+		}
+		s.del(a)
+		if _, ok := s.get(a); ok {
+			t.Fatal("deleted key still present")
+		}
+		if s.len() != 1 {
+			t.Fatalf("len after delete = %d, want 1", s.len())
+		}
+		s.free()
+		if _, ok := s.get(b); ok {
+			t.Fatal("freed store reports a hit")
+		}
+		if s.len() != 0 {
+			t.Fatalf("len after free = %d", s.len())
+		}
+	}
+}
+
+func k2dims(k *pointKeyer) int { return len(k.widths) }
+
+// A degenerate dimension (maxCoord 0, width 0 bits) must neither shift
+// away neighbours' bits nor alias distinct points.
+func TestPointKeyerDegenerateDimension(t *testing.T) {
+	k := newPointKeyer(&space{dims: 3, step: 1, maxCoord: []int{7, 0, 7}})
+	if !k.packable {
+		t.Fatal("degenerate space should pack")
+	}
+	seen := make(map[uint64]bool)
+	for a := 0; a <= 7; a++ {
+		for c := 0; c <= 7; c++ {
+			v := k.pack(point{a, 0, c})
+			if seen[v] {
+				t.Fatalf("collision at %d/%d", a, c)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// The explorer must release its maps when a search finishes; release
+// is idempotent with respect to reads.
+func TestExplorerRelease(t *testing.T) {
+	sp := &space{dims: 2, step: 1, maxCoord: []int{4, 4}}
+	x := newExplorer(nil, nil, sp, agg.Spec{}, true)
+	x.store.put(point{1, 1}, []agg.Partial{{Count: 3}})
+	if x.storedPoints() != 1 {
+		t.Fatalf("storedPoints = %d", x.storedPoints())
+	}
+	x.release()
+	if x.storedPoints() != 0 {
+		t.Fatal("release did not drop the store")
+	}
+	if _, ok := x.cache.get(point{1, 1}); ok {
+		t.Fatal("released cache reports a hit")
+	}
+}

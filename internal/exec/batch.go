@@ -33,6 +33,16 @@ func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []re
 	if w > len(regions) {
 		w = len(regions)
 	}
+	// With a region cache attached, every region first consults the
+	// cache under its (query shape, region) fingerprint; concurrent
+	// identical regions — including ones dispatched by other sessions
+	// sharing the cache — collapse onto one execution. The fingerprint
+	// is computed once per batch.
+	run := func(r relq.Region) (agg.Partial, error) { return e.aggregateBound(b, r) }
+	if c := e.regionCache.Load(); c != nil {
+		fp := e.batchFingerprint(q, b)
+		run = func(r relq.Region) (agg.Partial, error) { return e.aggregateCached(c, fp, b, r) }
+	}
 	// Per-region execution times land in the "evaluate" phase
 	// histogram inside aggregateBound; the dispatch event records the
 	// batch shape (width × workers) for the structured log.
@@ -44,7 +54,7 @@ func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []re
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			p, err := e.aggregateBound(b, regions[i])
+			p, err := run(regions[i])
 			if err != nil {
 				return nil, err
 			}
@@ -77,7 +87,7 @@ func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []re
 					fail(err)
 					return
 				}
-				p, err := e.aggregateBound(b, regions[i])
+				p, err := run(regions[i])
 				if err != nil {
 					fail(err)
 					return

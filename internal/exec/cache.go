@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"strings"
+
+	"acquire/internal/agg"
+	"acquire/internal/exec/regioncache"
+	"acquire/internal/relq"
+)
+
+// SetRegionCache attaches a cross-search partial-aggregate cache: every
+// region dispatched through AggregateBatch is first looked up by its
+// canonical (query shape, aggregate spec, region) fingerprint, and
+// misses fill the cache for later — or concurrent — searches. The cache
+// may be shared between engines over the same data; nil detaches.
+//
+// Hits return exactly the partial a cold execution produced, so search
+// results stay bit-identical with the cache on, off, or pre-warmed.
+// The single-region Aggregate entry point deliberately bypasses the
+// cache: it is the independent oracle the incremental-computation
+// verification compares against.
+func (e *Engine) SetRegionCache(c *regioncache.Cache) {
+	e.regionCache.Store(c)
+}
+
+// RegionCache returns the attached cache (nil when detached).
+func (e *Engine) RegionCache() *regioncache.Cache {
+	return e.regionCache.Load()
+}
+
+// InvalidateRegionCache drops every cached partial. Call it after
+// mutating table contents in place (replacing a table via the catalog,
+// rewriting a column); pure appends retire their entries automatically
+// because the fingerprint mixes per-table row counts.
+func (e *Engine) InvalidateRegionCache() {
+	if c := e.regionCache.Load(); c != nil {
+		c.Invalidate()
+	}
+}
+
+// InvalidateTable drops every piece of derived state computed from a
+// table's contents: its cached column vectors, sorted indexes, grid
+// index, and the whole region cache (entries are keyed by fingerprint,
+// not table, so a per-table sweep is not possible). Call it after
+// replacing or rewriting a table in place — a mutation the row-count
+// generations cannot see. Pure appends need nothing: both the column
+// cache and the region-cache fingerprints carry row-count generations.
+func (e *Engine) InvalidateTable(table string) {
+	key := strings.ToLower(table)
+	e.mu.Lock()
+	for k := range e.colCache {
+		if k.table == key {
+			delete(e.colCache, k)
+		}
+	}
+	delete(e.cacheGen, key)
+	for k := range e.sortIdx {
+		if k.table == key {
+			delete(e.sortIdx, k)
+		}
+	}
+	delete(e.grids, key)
+	e.mu.Unlock()
+	e.InvalidateRegionCache()
+}
+
+// batchFingerprint computes the query-shape fingerprint shared by every
+// region of one batch, folding in each table's row count as a
+// generation word: a table that has grown since an entry was cached can
+// never produce that key again, so stale entries age out of the LRU
+// instead of being served (the column cache's cacheGen scheme, applied
+// to cache keys).
+func (e *Engine) batchFingerprint(q *relq.Query, b *binding) relq.Fingerprint {
+	fp := relq.QueryFingerprint(q)
+	gens := make([]uint64, len(b.tables))
+	for i, t := range b.tables {
+		gens[i] = uint64(t.NumRows())
+	}
+	return fp.Mix(gens...)
+}
+
+// aggregateCached executes one bound region through the region cache.
+// A hit (including joining another caller's in-flight execution of the
+// same region) returns the stored partial without touching the
+// execution path — Stats.Queries does not move. A miss executes
+// aggregateBound exactly once per key under the cache's singleflight
+// and stores the result.
+func (e *Engine) aggregateCached(c *regioncache.Cache, fp relq.Fingerprint, b *binding, region relq.Region) (agg.Partial, error) {
+	k := fp.WithRegion(region)
+	p, hit, evicted, err := c.Do(regioncache.Key{Hi: k.Hi, Lo: k.Lo}, func() (agg.Partial, error) {
+		return e.aggregateBound(b, region)
+	})
+	if err != nil {
+		return agg.Zero(), err
+	}
+	if hit {
+		e.countCacheHits(1)
+	} else {
+		e.countCacheMisses(1)
+	}
+	if evicted > 0 {
+		e.countCacheEvictions(evicted)
+	}
+	return p, nil
+}

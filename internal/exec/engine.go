@@ -18,6 +18,7 @@ import (
 
 	"acquire/internal/agg"
 	"acquire/internal/data"
+	"acquire/internal/exec/regioncache"
 	"acquire/internal/index"
 	"acquire/internal/obs"
 	"acquire/internal/relq"
@@ -47,6 +48,16 @@ type Stats struct {
 	// BoundaryRows counts rows scanned from boundary-cell posting lists
 	// by the box-aggregate kernel (also included in RowsScanned).
 	BoundaryRows int64
+	// CacheHits counts region executions answered from the attached
+	// region cache (including joins onto another caller's in-flight
+	// execution) — these never reach Queries.
+	CacheHits int64
+	// CacheMisses counts region executions that went through the cache
+	// and had to execute (each also increments Queries).
+	CacheMisses int64
+	// CacheEvictions counts entries displaced from the region cache by
+	// fills attributed to this engine.
+	CacheEvictions int64
 }
 
 // Sub returns the counter deltas s minus prev — the work performed
@@ -59,6 +70,9 @@ func (s Stats) Sub(prev Stats) Stats {
 		CellsSkipped:   s.CellsSkipped - prev.CellsSkipped,
 		CellsMerged:    s.CellsMerged - prev.CellsMerged,
 		BoundaryRows:   s.BoundaryRows - prev.BoundaryRows,
+		CacheHits:      s.CacheHits - prev.CacheHits,
+		CacheMisses:    s.CacheMisses - prev.CacheMisses,
+		CacheEvictions: s.CacheEvictions - prev.CacheEvictions,
 	}
 }
 
@@ -73,6 +87,9 @@ type statsCells struct {
 	cellsSkipped   atomic.Int64
 	cellsMerged    atomic.Int64
 	boundaryRows   atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
 }
 
 // engineObs holds the pre-resolved observability handles of an
@@ -86,6 +103,9 @@ type engineObs struct {
 	cells       *obs.Counter
 	cellsMerged *obs.Counter
 	boundary    *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	cacheEvict  *obs.Counter
 	queryDur    *obs.Histogram
 }
 
@@ -109,6 +129,9 @@ type Engine struct {
 	// obsState mirrors counters into an attached obs.Observer; nil
 	// (the default) is the uninstrumented fast path.
 	obsState atomic.Pointer[engineObs]
+	// regionCache memoizes per-region partials across searches and
+	// sessions (see cache.go); nil (the default) executes every region.
+	regionCache atomic.Pointer[regioncache.Cache]
 }
 
 type colKey struct {
@@ -152,6 +175,9 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 		cells:       o.Counter("acquire_engine_cells_skipped_total", "Queries answered empty by the grid index without scanning (§7.4)."),
 		cellsMerged: o.Counter("acquire_engine_cells_merged_total", "Grid cells answered by merging stored per-cell partials (box-aggregate kernel interior cells)."),
 		boundary:    o.Counter("acquire_engine_boundary_rows_total", "Rows scanned from boundary-cell posting lists by the box-aggregate kernel."),
+		cacheHits:   o.Counter("acquire_cache_hits_total", "Region executions answered from the cross-search partial-aggregate cache."),
+		cacheMisses: o.Counter("acquire_cache_misses_total", "Region executions that missed the cross-search partial-aggregate cache and executed."),
+		cacheEvict:  o.Counter("acquire_cache_evictions_total", "Entries displaced from the cross-search partial-aggregate cache by the byte cap."),
 		queryDur:    o.Histogram(`acquire_phase_duration_seconds{phase="evaluate"}`, "Duration of search/engine phases by phase name.", nil),
 	})
 }
@@ -178,6 +204,9 @@ func (e *Engine) Snapshot() Stats {
 		CellsSkipped:   c.cellsSkipped.Load(),
 		CellsMerged:    c.cellsMerged.Load(),
 		BoundaryRows:   c.boundaryRows.Load(),
+		CacheHits:      c.cacheHits.Load(),
+		CacheMisses:    c.cacheMisses.Load(),
+		CacheEvictions: c.cacheEvictions.Load(),
 	}
 }
 
@@ -221,6 +250,27 @@ func (e *Engine) countBoundaryRows(n int64) {
 	e.stats.Load().boundaryRows.Add(n)
 	if eo := e.obsState.Load(); eo != nil {
 		eo.boundary.Add(n)
+	}
+}
+
+func (e *Engine) countCacheHits(n int64) {
+	e.stats.Load().cacheHits.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.cacheHits.Add(n)
+	}
+}
+
+func (e *Engine) countCacheMisses(n int64) {
+	e.stats.Load().cacheMisses.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.cacheMisses.Add(n)
+	}
+}
+
+func (e *Engine) countCacheEvictions(n int64) {
+	e.stats.Load().cacheEvictions.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.cacheEvict.Add(n)
 	}
 }
 

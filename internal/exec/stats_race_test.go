@@ -68,10 +68,13 @@ func TestSnapshotResetCoherent(t *testing.T) {
 }
 
 func TestStatsSub(t *testing.T) {
-	a := Stats{Queries: 10, RowsScanned: 100, TuplesExamined: 50, CellsSkipped: 3}
-	b := Stats{Queries: 4, RowsScanned: 40, TuplesExamined: 20, CellsSkipped: 1}
+	a := Stats{Queries: 10, RowsScanned: 100, TuplesExamined: 50, CellsSkipped: 3,
+		CacheHits: 9, CacheMisses: 7, CacheEvictions: 5}
+	b := Stats{Queries: 4, RowsScanned: 40, TuplesExamined: 20, CellsSkipped: 1,
+		CacheHits: 4, CacheMisses: 3, CacheEvictions: 2}
 	got := a.Sub(b)
-	want := Stats{Queries: 6, RowsScanned: 60, TuplesExamined: 30, CellsSkipped: 2}
+	want := Stats{Queries: 6, RowsScanned: 60, TuplesExamined: 30, CellsSkipped: 2,
+		CacheHits: 5, CacheMisses: 4, CacheEvictions: 3}
 	if got != want {
 		t.Fatalf("Sub = %+v, want %+v", got, want)
 	}

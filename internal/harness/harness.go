@@ -18,7 +18,9 @@ import (
 
 	"acquire/internal/baseline"
 	"acquire/internal/core"
+	"acquire/internal/data"
 	"acquire/internal/exec"
+	"acquire/internal/exec/regioncache"
 	"acquire/internal/index"
 	"acquire/internal/obs"
 	"acquire/internal/relq"
@@ -48,6 +50,11 @@ type Config struct {
 	// query's select dimensions, so eligible cell queries are answered
 	// from stored per-cell partials instead of scans (-gridagg).
 	GridAgg bool
+	// CacheMB, when positive, attaches a cross-search partial-aggregate
+	// cache of that many MiB to every engine the harness builds
+	// (-cache): repeated and overlapping searches reuse each other's
+	// region executions (see the "repeated" experiment).
+	CacheMB int
 	// Obs instruments every engine and search the harness builds
 	// (metrics, phase spans, events); nil runs uninstrumented. Excluded
 	// from results JSON — it is a live handle, not a parameter.
@@ -114,9 +121,7 @@ func usersEngine(cfg Config) (*exec.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := exec.New(cat)
-	e.SetObserver(cfg.Obs)
-	return e, nil
+	return newEngine(cat, cfg), nil
 }
 
 // tpchEngine builds the three-table supply-chain dataset.
@@ -125,9 +130,16 @@ func tpchEngine(cfg Config) (*exec.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newEngine(cat, cfg), nil
+}
+
+func newEngine(cat *data.Catalog, cfg Config) *exec.Engine {
 	e := exec.New(cat)
 	e.SetObserver(cfg.Obs)
-	return e, nil
+	if cfg.CacheMB > 0 {
+		e.SetRegionCache(regioncache.New(int64(cfg.CacheMB) << 20))
+	}
+	return e
 }
 
 // RunACQUIRE measures one ACQUIRE execution. The context cancels the

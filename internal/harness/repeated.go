@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"context"
+
+	"acquire/internal/relq"
+	"acquire/internal/workload"
+)
+
+// RepeatedSessions is the number of workload replays in RepeatedWorkload.
+var RepeatedSessions = 4
+
+// RepeatedWorkload measures the cross-search partial-aggregate cache
+// (internal/exec/regioncache): concurrent refinement sessions in a
+// deployment ask near-identical questions over shared data, and
+// ACQUIRE's cell sub-queries are canonical enough that one session's
+// executions answer another's. It replays the Figure 8 ACQUIRE
+// workload (3 flexible predicates, every aggregate ratio)
+// RepeatedSessions times on one engine and reports per-session
+// execution counts, wall time and cache hit rate. With a cache
+// attached (Config.CacheMB > 0) sessions after the first are answered
+// almost entirely from cached partials; with CacheMB = 0 the study is
+// the no-cache ablation (every session pays the cold cost). Results
+// are bit-identical either way.
+func RepeatedWorkload(ctx context.Context, cfg Config) ([]Figure, error) {
+	cfg = cfg.WithDefaults()
+	e, err := usersEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var xs, execs, millis, hitRate []float64
+	for sess := 0; sess < RepeatedSessions; sess++ {
+		before := e.Snapshot()
+		wall := 0.0
+		for _, r := range Ratios {
+			q, err := workload.BuildCalibrated(e, workload.Spec{
+				Kind: workload.Users, Dims: 3, Agg: relq.AggCount, Ratio: r,
+			})
+			if err != nil {
+				return nil, err
+			}
+			m, err := RunACQUIRE(ctx, e, q, acquireOpts(cfg))
+			if err != nil {
+				return nil, err
+			}
+			wall += m.Millis
+		}
+		d := e.Snapshot().Sub(before)
+		xs = append(xs, float64(sess+1))
+		execs = append(execs, float64(d.Queries))
+		millis = append(millis, wall)
+		if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
+			hitRate = append(hitRate, float64(d.CacheHits)/float64(lookups))
+		} else {
+			hitRate = append(hitRate, 0)
+		}
+	}
+	return []Figure{
+		{ID: "cache.a", Title: "Evaluation-layer executions per repeated session", XLabel: "session", X: xs,
+			YLabel: "executions", Series: []Series{{Name: "ACQUIRE", Y: execs}}},
+		{ID: "cache.b", Title: "Execution time per repeated session", XLabel: "session", X: xs,
+			YLabel: "time (ms)", Series: []Series{{Name: "ACQUIRE", Y: millis}}},
+		{ID: "cache.c", Title: "Cache hit rate per repeated session", XLabel: "session", X: xs,
+			YLabel: "hit rate", Series: []Series{{Name: "ACQUIRE", Y: hitRate}}},
+	}, nil
+}
