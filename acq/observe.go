@@ -53,6 +53,9 @@ func ServeMetrics(addr string, reg *MetricsRegistry) (string, func(), error) {
 func (s *Session) Observe(o *Observer) {
 	s.obs = o
 	s.eng.SetObserver(o)
+	if s.sharded != nil {
+		s.sharded.SetObserver(o)
+	}
 	if sampled, ok := s.eval.(*exec.Sampled); ok {
 		sampled.SetObserver(o)
 	}
@@ -132,12 +135,16 @@ func (s *Session) RefineReport(ctx context.Context, q *Query, opts Options) (*Re
 	return res, rep, err
 }
 
-// evalEngine returns the engine backing the current evaluation layer:
-// the sample engine under UseSampling, the session engine otherwise
-// (the histogram evaluator issues no engine work).
-func (s *Session) evalEngine() *exec.Engine {
+// evalEngine returns the evaluator backing the current evaluation
+// layer: the sample engine under UseSampling, the sharded evaluator
+// under EnableSharding, the session engine otherwise (the histogram
+// evaluator issues no engine work).
+func (s *Session) evalEngine() exec.Evaluator {
 	if sampled, ok := s.eval.(*exec.Sampled); ok {
 		return sampled.Engine
+	}
+	if sv, ok := s.eval.(*exec.ShardedEvaluator); ok {
+		return sv
 	}
 	return s.eng
 }

@@ -1,0 +1,185 @@
+package acq
+
+import (
+	"testing"
+)
+
+const shardSQL = `SELECT * FROM users CONSTRAINT COUNT(*) >= 900
+	WHERE age <= 30 AND spend <= 50`
+
+// TestShardedSessionEquivalence drives a refinement search through the
+// session sharding surface and checks it against an identically seeded
+// monolithic session: COUNT aggregates are bit-identical under the
+// §2.6 merge rule, so the searches must explore the same frontier and
+// recommend the same refinement.
+func TestShardedSessionEquivalence(t *testing.T) {
+	mono, err := NewUsersSession(3000, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewUsersSession(3000, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.EnableCache(4 << 20) // enabled before sharding: must carry over
+	if err := sh.EnableSharding(4); err != nil {
+		t.Fatalf("EnableSharding: %v", err)
+	}
+	if got := sh.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d, want 4", got)
+	}
+	if got := mono.NumShards(); got != 1 {
+		t.Fatalf("monolithic NumShards = %d, want 1", got)
+	}
+
+	qm, err := mono.Parse(shardSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := sh.Parse(shardSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := mono.Estimate(qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := sh.Estimate(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em != es {
+		t.Fatalf("Estimate diverged: monolithic %v, sharded %v", em, es)
+	}
+
+	rm, err := mono.Refine(qm, Options{Gamma: 20, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sh.Refine(qs, Options{Gamma: 20, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Satisfied != rs.Satisfied || rm.Explored != rs.Explored {
+		t.Fatalf("search shape diverged: monolithic %+v, sharded %+v", rm, rs)
+	}
+	if rm.Satisfied {
+		if rm.Best.Aggregate != rs.Best.Aggregate {
+			t.Fatalf("best aggregate diverged: %v vs %v", rm.Best.Aggregate, rs.Best.Aggregate)
+		}
+		if rm.Best.ToSQL() != rs.Best.ToSQL() {
+			t.Fatalf("best refinement diverged:\n%s\nvs\n%s", rm.Best.ToSQL(), rs.Best.ToSQL())
+		}
+	}
+
+	// Session-level shard accounting.
+	sc := sh.ScatterStats()
+	if sc.Scatters == 0 || sc.Partials == 0 {
+		t.Errorf("scatter stats not engaged: %+v", sc)
+	}
+	st := sh.ShardStats()
+	if len(st) != 4 {
+		t.Fatalf("ShardStats len = %d, want 4", len(st))
+	}
+	rows, work := 0, int64(0)
+	for _, s := range st {
+		rows += s.Rows
+		work += s.Stats.Queries
+	}
+	n, err := sh.TableRows("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != n {
+		t.Errorf("shard rows sum to %d, want %d", rows, n)
+	}
+	if work == 0 {
+		t.Error("no per-shard executions recorded")
+	}
+	if merged := sh.Stats(); merged.Queries == 0 || merged.RowsScanned == 0 {
+		t.Errorf("merged session stats not accounted: %+v", merged)
+	}
+	if cs := sh.CacheStats(); cs.Misses == 0 {
+		t.Errorf("carried-over region cache never engaged: %+v", cs)
+	}
+	if zero := (ScatterStats{}); mono.ScatterStats() != zero || mono.ShardStats() != nil {
+		t.Error("monolithic session reports shard state")
+	}
+
+	// DisableSharding restores the monolithic engine with identical
+	// results.
+	sh.DisableSharding()
+	if sh.NumShards() != 1 {
+		t.Fatalf("NumShards after disable = %d", sh.NumShards())
+	}
+	rd, err := sh.Refine(qs, Options{Gamma: 20, Delta: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Satisfied != rm.Satisfied || rd.Explored != rm.Explored {
+		t.Fatalf("post-disable search diverged: %+v vs %+v", rd, rm)
+	}
+}
+
+// TestShardedSessionTaxonomyBroadcast applies an ontology rewrite to a
+// sharded session (the table is replaced in the catalog with a
+// materialised distance column) and checks the subsequent search
+// against a fresh monolithic session given the same rewrite: stale
+// shard-local state — a shard still scanning the pre-taxonomy table —
+// would diverge.
+func TestShardedSessionTaxonomyBroadcast(t *testing.T) {
+	tax := NewTaxonomy("World")
+	tax.MustAdd("World", "EastCoast")
+	tax.MustAdd("World", "Central")
+	tax.MustAdd("EastCoast", "Boston")
+	tax.MustAdd("EastCoast", "New York")
+	tax.MustAdd("Central", "Austin")
+	tax.MustAdd("Central", "Chicago")
+
+	const sql = `SELECT * FROM users CONSTRAINT COUNT(*) = 500
+		WHERE (location IN ('Boston', 'New York')) AND age <= 30`
+	run := func(shards int) *Result {
+		t.Helper()
+		s, err := NewUsersSession(2000, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards > 1 {
+			if err := s.EnableSharding(shards); err != nil {
+				t.Fatal(err)
+			}
+			s.EnableCache(1 << 20)
+			// Warm the shard-local caches against the pre-taxonomy
+			// table so stale state has something to be stale about.
+			q, err := s.Parse(`SELECT * FROM users CONSTRAINT COUNT(*) = 900 WHERE age <= 30`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Refine(q, Options{Gamma: 10, Delta: 0.05}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q, err := s.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := s.RewriteCategorical(q, 0, tax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Refine(rq, Options{Gamma: 12, Delta: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	want := run(1)
+	got := run(5)
+	if want.Satisfied != got.Satisfied || want.Explored != got.Explored {
+		t.Fatalf("post-taxonomy search diverged: monolithic %+v, sharded %+v", want, got)
+	}
+	if want.Satisfied && want.Best.Aggregate != got.Best.Aggregate {
+		t.Fatalf("post-taxonomy best diverged: %v vs %v", want.Best.Aggregate, got.Best.Aggregate)
+	}
+}

@@ -71,6 +71,9 @@ var experiments = []experiment{
 	{"repeated", "repeated-workload study: cross-search partial-aggregate cache (pair with -cache)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
 		return harness.RepeatedWorkload(ctx, c)
 	}},
+	{"shards", "sharded evaluation stack sweep: scatter-gather AggregateBatch vs the monolithic engine (fig. 8 workload)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.ShardSweep(ctx, c)
+	}},
 }
 
 func main() {
@@ -102,6 +105,7 @@ func run(ctx context.Context, args []string) error {
 		rounds  = fs.Int("tqgen-rounds", 0, "TQGen zoom rounds (default 5)")
 		gridAgg = fs.Bool("gridagg", false, "build aggregate-augmented grids: answer eligible cell queries from stored per-cell partials")
 		cache   = fs.Bool("cache", false, "attach a cross-search partial-aggregate cache to every engine")
+		shards  = fs.Int("shards", 1, "run harness engines as a ShardedEvaluator over N range-partitioned shards")
 		cacheMB = fs.Int("cache-mb", 64, "region cache capacity in MiB (with -cache)")
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while experiments run")
 		logJSON = fs.Bool("log-json", false, "emit structured search/engine events as JSON on stderr")
@@ -113,6 +117,7 @@ func run(ctx context.Context, args []string) error {
 	cfg := harness.Config{
 		Rows: *rows, Seed: *seed, Delta: *delta, Gamma: *gamma,
 		TQGenGridK: *gridK, TQGenRounds: *rounds, GridAgg: *gridAgg,
+		Shards: *shards,
 	}
 	if *cache {
 		cfg.CacheMB = *cacheMB

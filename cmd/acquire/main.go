@@ -65,6 +65,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		gridAgg = fs.Bool("gridagg", false, "build an aggregate-augmented grid over the query's select dimensions (single-table queries)")
 		cache   = fs.Bool("cache", false, "cache partial aggregates across searches (results stay bit-identical)")
 		cacheMB = fs.Int("cache-mb", 64, "partial-aggregate cache capacity in MiB (with -cache)")
+		shards  = fs.Int("shards", 1, "scatter-gather exact execution across N range-partitioned in-process shards")
 		maxOut  = fs.Int("max", 5, "maximum refined queries to print")
 		taxPath = fs.String("taxonomy", "", "make a string predicate refinable: column=outline-file (§7.3)")
 		explain = fs.Bool("explain", false, "print the search trace (one line per explored refined query)")
@@ -198,6 +199,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	// Sharding first: grid indexes and the cache attach to whichever
+	// exact evaluator is active, so the shards must exist before either.
+	if *shards > 1 {
+		if err := s.EnableSharding(*shards); err != nil {
+			return err
+		}
+	}
 	if *gridAgg {
 		if err := buildGridAgg(s, q); err != nil {
 			return err
@@ -237,6 +245,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		res.Explored, st.Queries, st.RowsScanned)
 	if *cache {
 		fmt.Fprintf(out, "partial-aggregate cache: %d hits, %d misses\n", st.CacheHits, st.CacheMisses)
+	}
+	if *shards > 1 {
+		sc := s.ScatterStats()
+		fmt.Fprintf(out, "sharding: %d shards, %d batches scattered, %d routed whole, %d partials merged\n",
+			s.NumShards(), sc.Scatters, sc.Routed, sc.Partials)
+		for _, sh := range s.ShardStats() {
+			fmt.Fprintf(out, "  shard %d: rows [%d,%d) — %d executions, %d rows scanned\n",
+				sh.Shard, sh.Lo, sh.Hi, sh.Stats.Queries, sh.Stats.RowsScanned)
+		}
 	}
 
 	if !res.Satisfied {

@@ -1,0 +1,184 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Partitioner range-partitions a catalog into N in-process shards.
+//
+// Exactly one table — the designated fact table — is cut into N
+// contiguous row ranges (the implicit row id is the partition key, so
+// partitioning preserves row order and shard i is rows
+// [i·n/N, (i+1)·n/N) of the parent). Every other table is broadcast:
+// each shard catalog holds the same *Table pointer as the parent, the
+// in-process analogue of a replicated dimension table. This keeps
+// joins exact — each fact row, and therefore each join result tuple,
+// lives in exactly one shard, so per-shard partials over disjoint
+// tuple sets compose by the §2.6 merge rule.
+//
+// Queries that do not reference the fact table must not be scattered
+// (every shard would see the full broadcast tables and multiply-count);
+// route them to a single shard instead — shard 0 is complete for them.
+type Partitioner struct {
+	// Shards is the shard count N (>= 1).
+	Shards int
+	// Table optionally names the fact table to partition. Empty picks
+	// the largest table by row count (ties break on the lexicographically
+	// smallest name, so the choice is deterministic).
+	Table string
+}
+
+// Shard is one shard's view of the data: a catalog with the fact
+// table's row-range slice plus broadcast pointers to every other
+// table, and the fact-table row range it owns.
+type Shard struct {
+	// Catalog is the shard-local catalog.
+	Catalog *Catalog
+	// Lo and Hi delimit the shard's fact-table rows [Lo, Hi) in parent
+	// row ids; local row r corresponds to parent row Lo+r.
+	Lo, Hi int
+}
+
+// Partition is the live output of a Partitioner: the shard catalogs
+// plus enough bookkeeping to re-slice after the parent catalog
+// changes. It is safe for concurrent readers; Refresh takes the write
+// lock.
+type Partition struct {
+	parent *Catalog
+	table  string // fact table name as registered
+
+	mu     sync.RWMutex
+	shards []Shard
+	gen    int // parent fact-table row count at slice time
+}
+
+// Partition splits the catalog. The parent catalog is not modified;
+// shard catalogs are new Catalog values over slices and shared
+// pointers.
+func (p Partitioner) Partition(cat *Catalog) (*Partition, error) {
+	if p.Shards < 1 {
+		return nil, fmt.Errorf("data: partitioner wants >= 1 shards, got %d", p.Shards)
+	}
+	fact := p.Table
+	if fact == "" {
+		best := -1
+		for _, name := range cat.Names() { // sorted, so ties are deterministic
+			t, err := cat.Table(name)
+			if err != nil {
+				return nil, err
+			}
+			if t.NumRows() > best {
+				best, fact = t.NumRows(), t.Name()
+			}
+		}
+		if fact == "" {
+			return nil, fmt.Errorf("data: cannot partition an empty catalog")
+		}
+	} else if _, err := cat.Table(fact); err != nil {
+		return nil, err
+	}
+	out := &Partition{parent: cat, table: fact}
+	if err := out.slice(p.Shards); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// slice (re)builds the shard catalogs from the parent's current
+// tables. Existing shard Catalog values are updated in place — engines
+// hold pointers to them, so a re-slice must not swap catalogs out from
+// under its consumers. Caller holds no locks; slice takes the write
+// lock.
+func (p *Partition) slice(n int) error {
+	ft, err := p.parent.Table(p.table)
+	if err != nil {
+		return err
+	}
+	rows := ft.NumRows()
+	names := p.parent.Names()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.shards) != n {
+		p.shards = make([]Shard, n)
+		for i := range p.shards {
+			p.shards[i].Catalog = NewCatalog()
+		}
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := i*rows/n, (i+1)*rows/n
+		p.shards[i].Lo, p.shards[i].Hi = lo, hi
+		for _, name := range names {
+			t, err := p.parent.Table(name)
+			if err != nil {
+				return err
+			}
+			if strings.EqualFold(name, p.table) {
+				t = t.Slice(lo, hi)
+			}
+			p.shards[i].Catalog.Replace(t)
+		}
+	}
+	p.gen = rows
+	return nil
+}
+
+// Table returns the fact table's registered name.
+func (p *Partition) Table() string { return p.table }
+
+// NumShards returns the shard count.
+func (p *Partition) NumShards() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.shards)
+}
+
+// Shard returns shard i's view.
+func (p *Partition) Shard(i int) Shard {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.shards[i]
+}
+
+// Generation is the parent fact-table row count the current slices
+// were cut from. A parent that has grown past it means the shards are
+// stale (appends land only in the parent's backing arrays) — call
+// Refresh.
+func (p *Partition) Generation() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.gen
+}
+
+// Stale reports whether the parent fact table's row count has moved
+// since the last slice.
+func (p *Partition) Stale() bool {
+	ft, err := p.parent.Table(p.table)
+	if err != nil {
+		return true
+	}
+	return ft.NumRows() != p.Generation()
+}
+
+// Refresh re-resolves one table from the parent catalog into every
+// shard: the fact table is re-sliced (new boundaries from its current
+// row count), any other table's pointer is re-broadcast. Call it after
+// Catalog.Replace or in-place growth — the broadcast pointers and row
+// slices cannot see either on their own.
+func (p *Partition) Refresh(table string) error {
+	if strings.EqualFold(table, p.table) {
+		return p.slice(p.NumShards())
+	}
+	t, err := p.parent.Table(table)
+	if err != nil {
+		return err
+	}
+	p.mu.RLock()
+	shards := p.shards
+	p.mu.RUnlock()
+	for _, s := range shards {
+		s.Catalog.Replace(t)
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package data
+
+import (
+	"fmt"
+	"testing"
+)
+
+func partTestCatalog(t *testing.T, factRows, dimRows int) *Catalog {
+	t.Helper()
+	cat := NewCatalog()
+	fact := NewTable("fact", MustSchema(
+		Column{Name: "id", Type: Int64},
+		Column{Name: "v", Type: Float64},
+	))
+	for i := 0; i < factRows; i++ {
+		if err := fact.AppendRow(IntValue(int64(i)), FloatValue(float64(i)*1.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dim := NewTable("dim", MustSchema(Column{Name: "k", Type: Int64}))
+	for i := 0; i < dimRows; i++ {
+		if err := dim.AppendRow(IntValue(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tbl := range []*Table{fact, dim} {
+		if err := cat.Register(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+// TestPartitionCoversRowsExactly checks the range-partition invariants
+// for assorted (rows, shards) combinations, including more shards than
+// rows (empty shards) and a single shard: contiguous, disjoint,
+// order-preserving, covering.
+func TestPartitionCoversRowsExactly(t *testing.T) {
+	for _, tc := range []struct{ rows, shards int }{
+		{100, 1}, {100, 4}, {101, 4}, {7, 16}, {0, 3}, {1, 1}, {16, 16},
+	} {
+		t.Run(fmt.Sprintf("rows=%d/shards=%d", tc.rows, tc.shards), func(t *testing.T) {
+			cat := partTestCatalog(t, tc.rows, 5)
+			p, err := Partitioner{Shards: tc.shards, Table: "fact"}.Partition(cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Table() != "fact" {
+				t.Fatalf("partitioned %q, want fact", p.Table())
+			}
+			if p.NumShards() != tc.shards {
+				t.Fatalf("NumShards = %d, want %d", p.NumShards(), tc.shards)
+			}
+			prevHi, total := 0, 0
+			for i := 0; i < tc.shards; i++ {
+				s := p.Shard(i)
+				if s.Lo != prevHi {
+					t.Fatalf("shard %d starts at %d, want %d (contiguous)", i, s.Lo, prevHi)
+				}
+				prevHi = s.Hi
+				ft, err := s.Catalog.Table("fact")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ft.NumRows() != s.Hi-s.Lo {
+					t.Fatalf("shard %d fact rows = %d, want %d", i, ft.NumRows(), s.Hi-s.Lo)
+				}
+				total += ft.NumRows()
+				// Values must be the parent's rows [Lo, Hi) in order.
+				for r := 0; r < ft.NumRows(); r++ {
+					v, err := ft.NumericAt(r, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if int(v) != s.Lo+r {
+						t.Fatalf("shard %d row %d id = %v, want %d", i, r, v, s.Lo+r)
+					}
+				}
+				// Broadcast tables are the parent pointer, not a copy.
+				parentDim, _ := cat.Table("dim")
+				shardDim, err := s.Catalog.Table("dim")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if shardDim != parentDim {
+					t.Fatalf("shard %d dim is a copy, want the broadcast parent pointer", i)
+				}
+			}
+			if prevHi != tc.rows || total != tc.rows {
+				t.Fatalf("shards cover %d rows ending at %d, want %d", total, prevHi, tc.rows)
+			}
+			if p.Generation() != tc.rows || p.Stale() {
+				t.Fatalf("generation = %d stale = %v, want %d and fresh", p.Generation(), p.Stale(), tc.rows)
+			}
+		})
+	}
+}
+
+// TestPartitionShardStats checks that shard-local tables compute their
+// own column stats over only their row range.
+func TestPartitionShardStats(t *testing.T) {
+	cat := partTestCatalog(t, 100, 1)
+	p, err := Partitioner{Shards: 4}.Partition(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := p.Shard(2).Catalog.Table("fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ft.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 50 || s.Max != 74 || s.Distinct != 25 {
+		t.Fatalf("shard 2 id stats = %+v, want min 50 max 74 distinct 25", s)
+	}
+	// Parent stats stay full-range.
+	parent, _ := cat.Table("fact")
+	ps, err := parent.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Min != 0 || ps.Max != 99 {
+		t.Fatalf("parent id stats = %+v, want min 0 max 99", ps)
+	}
+}
+
+// TestPartitionRefresh covers both Refresh paths: replacing a broadcast
+// table re-broadcasts the new pointer; growing the fact table flips
+// Stale and re-slicing picks up the new rows.
+func TestPartitionRefresh(t *testing.T) {
+	cat := partTestCatalog(t, 40, 3)
+	p, err := Partitioner{Shards: 4}.Partition(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Broadcast replacement.
+	newDim := NewTable("dim", MustSchema(Column{Name: "k", Type: Int64}))
+	if err := newDim.AppendRow(IntValue(99)); err != nil {
+		t.Fatal(err)
+	}
+	cat.Replace(newDim)
+	if err := p.Refresh("dim"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.NumShards(); i++ {
+		d, err := p.Shard(i).Catalog.Table("dim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != newDim {
+			t.Fatalf("shard %d dim not re-broadcast after Refresh", i)
+		}
+	}
+
+	// Fact growth: appends land in the parent only, until Refresh.
+	parent, _ := cat.Table("fact")
+	for i := 40; i < 60; i++ {
+		if err := parent.AppendRow(IntValue(int64(i)), FloatValue(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.Stale() {
+		t.Fatal("partition should be stale after fact-table growth")
+	}
+	if err := p.Refresh("fact"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stale() || p.Generation() != 60 {
+		t.Fatalf("after Refresh: stale=%v gen=%d, want fresh gen 60", p.Stale(), p.Generation())
+	}
+	total := 0
+	for i := 0; i < p.NumShards(); i++ {
+		ft, err := p.Shard(i).Catalog.Table("fact")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += ft.NumRows()
+	}
+	if total != 60 {
+		t.Fatalf("re-sliced shards cover %d rows, want 60", total)
+	}
+}
+
+// TestPartitionerValidation rejects nonsense configurations.
+func TestPartitionerValidation(t *testing.T) {
+	cat := partTestCatalog(t, 10, 2)
+	if _, err := (Partitioner{Shards: 0}).Partition(cat); err == nil {
+		t.Fatal("want error for 0 shards")
+	}
+	if _, err := (Partitioner{Shards: 2, Table: "nope"}).Partition(cat); err == nil {
+		t.Fatal("want error for unknown fact table")
+	}
+	if _, err := (Partitioner{Shards: 2}).Partition(NewCatalog()); err == nil {
+		t.Fatal("want error for empty catalog")
+	}
+	// The default fact table is the largest one (fact: 10 rows vs
+	// dim: 2); explicit designation overrides the heuristic.
+	p, err := Partitioner{Shards: 2}.Partition(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Table() != "fact" {
+		t.Fatalf("partitioned %q, want the largest table fact", p.Table())
+	}
+	if p, err = (Partitioner{Shards: 2, Table: "dim"}).Partition(cat); err != nil {
+		t.Fatal(err)
+	}
+	if p.Table() != "dim" {
+		t.Fatalf("partitioned %q, want designated dim", p.Table())
+	}
+}
+
+// TestTableSliceIsAView checks the zero-copy contract: the slice
+// shares backing arrays and clamps out-of-range bounds.
+func TestTableSliceIsAView(t *testing.T) {
+	cat := partTestCatalog(t, 10, 1)
+	parent, _ := cat.Table("fact")
+	s := parent.Slice(3, 7)
+	if s.NumRows() != 4 || s.Name() != "fact" || s.Schema() != parent.Schema() {
+		t.Fatalf("slice: rows=%d name=%q", s.NumRows(), s.Name())
+	}
+	pv, _ := parent.Ints(0)
+	sv, _ := s.Ints(0)
+	if &sv[0] != &pv[3] {
+		t.Fatal("slice copied the int vector, want a view")
+	}
+	if e := parent.Slice(-5, 99); e.NumRows() != 10 {
+		t.Fatalf("clamped slice rows = %d, want 10", e.NumRows())
+	}
+	if e := parent.Slice(8, 3); e.NumRows() != 0 {
+		t.Fatalf("inverted slice rows = %d, want 0", e.NumRows())
+	}
+}

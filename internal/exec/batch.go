@@ -33,16 +33,7 @@ func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []re
 	if w > len(regions) {
 		w = len(regions)
 	}
-	// With a region cache attached, every region first consults the
-	// cache under its (query shape, region) fingerprint; concurrent
-	// identical regions — including ones dispatched by other sessions
-	// sharing the cache — collapse onto one execution. The fingerprint
-	// is computed once per batch.
-	run := func(r relq.Region) (agg.Partial, error) { return e.aggregateBound(b, r) }
-	if c := e.regionCache.Load(); c != nil {
-		fp := e.batchFingerprint(q, b)
-		run = func(r relq.Region) (agg.Partial, error) { return e.aggregateCached(c, fp, b, r) }
-	}
+	run := e.regionRunner(q, b)
 	// Per-region execution times land in the "evaluate" phase
 	// histogram inside aggregateBound; the dispatch event records the
 	// batch shape (width × workers) for the structured log.
@@ -101,4 +92,20 @@ func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []re
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// regionRunner returns the per-region execution function of one bound
+// query — the unit of work both AggregateBatch and the sharded
+// scatter-gather path dispatch to their worker pools. With a region
+// cache attached, every region first consults the cache under its
+// (query shape, region) fingerprint; concurrent identical regions —
+// including ones dispatched by other sessions sharing the cache —
+// collapse onto one execution. The fingerprint is computed once per
+// batch.
+func (e *Engine) regionRunner(q *relq.Query, b *binding) func(relq.Region) (agg.Partial, error) {
+	if c := e.regionCache.Load(); c != nil {
+		fp := e.batchFingerprint(q, b)
+		return func(r relq.Region) (agg.Partial, error) { return e.aggregateCached(c, fp, b, r) }
+	}
+	return func(r relq.Region) (agg.Partial, error) { return e.aggregateBound(b, r) }
 }

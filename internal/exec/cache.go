@@ -23,6 +23,17 @@ func (e *Engine) SetRegionCache(c *regioncache.Cache) {
 	e.regionCache.Store(c)
 }
 
+// EnableRegionCache attaches a fresh region cache of maxBytes capacity
+// (<= 0 detaches) — the Evaluator-interface form of SetRegionCache for
+// callers that size a cache rather than share an instance.
+func (e *Engine) EnableRegionCache(maxBytes int64) {
+	if maxBytes <= 0 {
+		e.SetRegionCache(nil)
+		return
+	}
+	e.SetRegionCache(regioncache.New(maxBytes))
+}
+
 // RegionCache returns the attached cache (nil when detached).
 func (e *Engine) RegionCache() *regioncache.Cache {
 	return e.regionCache.Load()

@@ -1,0 +1,794 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"acquire/internal/agg"
+	"acquire/internal/data"
+	"acquire/internal/obs"
+	"acquire/internal/relq"
+	"acquire/internal/tpch"
+)
+
+// shardCfg is one evaluator configuration of the equivalence sweep.
+type shardCfg struct {
+	grid  bool
+	cache bool
+}
+
+func (c shardCfg) String() string {
+	return fmt.Sprintf("grid=%v/cache=%v", c.grid, c.cache)
+}
+
+// newShardedUsers builds a ShardedEvaluator over the users catalog with
+// the requested shard count and configuration.
+func newShardedUsers(t *testing.T, cat *data.Catalog, n int, cfg shardCfg) *ShardedEvaluator {
+	t.Helper()
+	sv, err := NewShardedOn(cat, "users", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.grid {
+		// binsPerDim <= 0 auto-sizes per shard from its own row count.
+		if err := sv.BuildGridAggIndex("users", []string{"age", "income", "distance"}, []string{"spend"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cfg.cache {
+		sv.EnableRegionCache(4 << 20)
+	}
+	return sv
+}
+
+// TestShardedMatchesEngine is the shard-equivalence property test:
+// across randomized regions, COUNT/SUM/MIN/MAX/AVG constraints, shard
+// counts 1–16, and every {grid, cache} configuration, the
+// ShardedEvaluator's scatter-gather-merge must agree with the
+// monolithic Engine — COUNT/MIN/MAX bit for bit, SUM within float
+// re-association tolerance (§2.6: the merge fold re-associates shard
+// partials), and bit-identical at one shard where the fold is the
+// identity.
+func TestShardedMatchesEngine(t *testing.T) {
+	const rows = 3000
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := New(cat)
+
+	dims := usersDims()
+	queries := []*relq.Query{
+		usersQuery(relq.AggCount, "", dims...),
+		usersQuery(relq.AggSum, "spend", dims...),
+		usersQuery(relq.AggMin, "spend", dims...),
+		usersQuery(relq.AggMax, "spend", dims...),
+		usersQuery(relq.AggAvg, "spend", dims...),
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	randRegion := func() relq.Region {
+		r := make(relq.Region, len(dims))
+		for i := range r {
+			hi := rng.Float64() * 80
+			if rng.Intn(2) == 0 {
+				r[i] = relq.ViolInterval{Lo: -1, Hi: hi}
+			} else {
+				r[i] = relq.ViolInterval{Lo: hi * rng.Float64(), Hi: hi}
+			}
+		}
+		return r
+	}
+
+	// Evaluators are built lazily per (shards, config) and reused across
+	// trials, so the sweep touches many combinations without rebuilding
+	// grids per trial.
+	type evalKey struct {
+		shards int
+		cfg    shardCfg
+	}
+	evals := make(map[evalKey]*ShardedEvaluator)
+	getEval := func(k evalKey) *ShardedEvaluator {
+		if sv, ok := evals[k]; ok {
+			return sv
+		}
+		sv := newShardedUsers(t, cat, k.shards, k.cfg)
+		evals[k] = sv
+		return sv
+	}
+
+	ctx := context.Background()
+	triples, nonzero := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		shards := 1 + rng.Intn(16)
+		cfg := shardCfg{grid: rng.Intn(2) == 1, cache: rng.Intn(2) == 1}
+		sv := getEval(evalKey{shards, cfg})
+
+		regions := make([]relq.Region, 1+rng.Intn(3))
+		for i := range regions {
+			regions[i] = randRegion()
+		}
+		for _, q := range queries {
+			got, err := sv.AggregateBatch(ctx, q, regions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.cache {
+				// A second pass must be served from the shard caches and
+				// stay bit-identical to the cold execution.
+				again, err := sv.AggregateBatch(ctx, q, regions)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range got {
+					if got[i] != again[i] {
+						t.Fatalf("trial %d shards=%d %v: cached re-read diverged\ncold %+v\nwarm %+v",
+							trial, shards, cfg, got[i], again[i])
+					}
+				}
+			}
+			spec, err := agg.SpecFor(q.Constraint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, region := range regions {
+				triples++
+				want, err := oracle.Aggregate(q, region)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := got[i]
+				if p.Count != want.Count || p.Min != want.Min || p.Max != want.Max {
+					t.Fatalf("trial %d shards=%d %v %v region %v:\nsharded %+v\nengine  %+v",
+						trial, shards, cfg, q.Constraint.Func, region, p, want)
+				}
+				if !agg.ApproxEqual(p, want, 1e-9) {
+					t.Fatalf("trial %d shards=%d %v %v: sum diverged\nsharded %+v\nengine  %+v",
+						trial, shards, cfg, q.Constraint.Func, p, want)
+				}
+				if q.Constraint.Func == relq.AggCount && p.Sum != want.Sum {
+					t.Fatalf("trial %d: COUNT sum not bit-identical: %v vs %v", trial, p.Sum, want.Sum)
+				}
+				if shards == 1 && !cfg.grid && p != want {
+					// One shard, no grid: same scan code over the same
+					// rows — the merge fold is the identity, so the
+					// result is bit-identical, Sum included.
+					t.Fatalf("trial %d: single-shard partial not bit-identical\nsharded %+v\nengine  %+v", trial, p, want)
+				}
+				gf, wf := spec.Final(p), spec.Final(want)
+				if gf != wf && !(math.IsNaN(gf) && math.IsNaN(wf)) &&
+					math.Abs(gf-wf) > 1e-9*(1+math.Abs(wf)) {
+					t.Fatalf("trial %d shards=%d %v: Final %v vs %v", trial, shards, cfg, gf, wf)
+				}
+				if want.Count > 0 {
+					nonzero++
+				}
+			}
+		}
+	}
+	if triples < 120 {
+		t.Fatalf("property test covered only %d (query, region, agg) triples, want >= 120", triples)
+	}
+	if nonzero == 0 {
+		t.Fatal("property test never produced a non-empty region — workload bug")
+	}
+
+	// Engagement: the sweep must actually have scattered, merged grid
+	// cells, and served cache hits — otherwise the equivalences above
+	// compared two copies of the same code path.
+	var scattered, gridMerged, cacheHits int64
+	for k, sv := range evals {
+		scattered += sv.ScatterStats().Partials
+		if k.cfg.grid {
+			gridMerged += sv.Snapshot().CellsMerged
+		}
+		if k.cfg.cache {
+			cacheHits += sv.CacheStats().Hits
+		}
+	}
+	if scattered == 0 {
+		t.Error("no per-shard partials gathered — scatter path never ran")
+	}
+	if gridMerged == 0 {
+		t.Error("grid configurations never merged interior cells")
+	}
+	if cacheHits == 0 {
+		t.Error("cache configurations never produced a hit")
+	}
+}
+
+// TestShardedDeterministicAcrossWorkers: the gather fold runs in fixed
+// shard order, so results are bit-identical for every scatter worker
+// count.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 2000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := usersDims()
+	q := usersQuery(relq.AggSum, "spend", dims...)
+	regions := []relq.Region{
+		{{Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}},
+		{{Lo: -1, Hi: 5}, {Lo: 2, Hi: 9}, {Lo: -1, Hi: 70}},
+		{{Lo: 0.5, Hi: 30}, {Lo: -1, Hi: 12}, {Lo: 1, Hi: 44}},
+		{{Lo: -1, Hi: 80}, {Lo: -1, Hi: 80}, {Lo: -1, Hi: 80}},
+		{{Lo: -1, Hi: 0}, {Lo: -1, Hi: 0}, {Lo: -1, Hi: 0}},
+		{{Lo: 3, Hi: 3.5}, {Lo: -1, Hi: 60}, {Lo: -1, Hi: 25}},
+		{{Lo: -1, Hi: 15}, {Lo: 1, Hi: 22}, {Lo: 0.25, Hi: 9}},
+	}
+	sv, err := NewShardedOn(cat, "users", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base []agg.Partial
+	for _, workers := range []int{1, 2, 8, 0} {
+		sv.SetParallelism(workers)
+		got, err := sv.AggregateBatch(context.Background(), q, regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d region %d: %+v, want %+v (bit-identical across worker counts)",
+					workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// edgeCatalog builds a single-table catalog with x = row index (the
+// partition axis through select dims) and v = the aggregate attribute.
+func edgeCatalog(t *testing.T, vals []float64) *data.Catalog {
+	t.Helper()
+	cat := data.NewCatalog()
+	fact := data.NewTable("fact", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "v", Type: data.Float64},
+	))
+	for i, v := range vals {
+		if err := fact.AppendRow(data.FloatValue(float64(i)), data.FloatValue(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.Register(fact); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// factQuery builds a fact-table ACQ over a single SelectLE dim on x.
+// Violation is (x − Bound)·(100/Width); with Bound 10 and Width 100
+// that is x − 10, so region {Lo:-1, Hi:h} admits rows with x <= 10 + h.
+func factQuery(f relq.AggFunc, attr string) *relq.Query {
+	c := relq.Constraint{Func: f, Op: relq.CmpEQ, Target: 1}
+	if attr != "" {
+		c.Attr = relq.ColumnRef{Table: "fact", Column: attr}
+	}
+	return &relq.Query{
+		Tables: []string{"fact"},
+		Dims: []relq.Dimension{{
+			Kind:  relq.SelectLE,
+			Col:   relq.ColumnRef{Table: "fact", Column: "x"},
+			Bound: 10, Width: 100,
+		}},
+		Constraint: c,
+	}
+}
+
+var edgeAggs = []struct {
+	f    relq.AggFunc
+	attr string
+}{
+	{relq.AggCount, ""},
+	{relq.AggSum, "v"},
+	{relq.AggMin, "v"},
+	{relq.AggMax, "v"},
+	{relq.AggAvg, "v"},
+}
+
+// TestShardedMergeEdgeCases covers the §2.6 partial-merge corners:
+// more shards than rows (empty shards), every matching row in one
+// shard, ±Inf sentinel data, NaN data, and AVG recomposition from
+// SUM + COUNT.
+func TestShardedMergeEdgeCases(t *testing.T) {
+	ctx := context.Background()
+	compare := func(t *testing.T, cat *data.Catalog, shards int, region relq.Region) {
+		t.Helper()
+		mono := New(cat)
+		sv, err := NewShardedOn(cat, "fact", shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ea := range edgeAggs {
+			q := factQuery(ea.f, ea.attr)
+			want, err := mono.Aggregate(q, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := sv.AggregateBatch(ctx, q, []relq.Region{region})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := batch[0]
+			if got.Count != want.Count ||
+				!(got.Min == want.Min || (math.IsNaN(got.Min) && math.IsNaN(want.Min))) ||
+				!(got.Max == want.Max || (math.IsNaN(got.Max) && math.IsNaN(want.Max))) {
+				t.Fatalf("%v: sharded %+v, engine %+v", ea.f, got, want)
+			}
+			if !(math.IsNaN(got.Sum) && math.IsNaN(want.Sum)) && !agg.ApproxEqual(got, want, 1e-9) {
+				t.Fatalf("%v: sum diverged: sharded %+v, engine %+v", ea.f, got, want)
+			}
+			spec, err := agg.SpecFor(q.Constraint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gf, wf := spec.Final(got), spec.Final(want)
+			if gf != wf && !(math.IsNaN(gf) && math.IsNaN(wf)) &&
+				math.Abs(gf-wf) > 1e-9*(1+math.Abs(wf)) {
+				t.Fatalf("%v: Final %v vs %v", ea.f, gf, wf)
+			}
+		}
+	}
+
+	t.Run("empty-shards", func(t *testing.T) {
+		// 5 rows over 16 shards: most shards hold zero rows and must
+		// contribute the Zero identity ({+Inf, -Inf} sentinels) without
+		// perturbing the fold.
+		cat := edgeCatalog(t, []float64{3, 1, 4, 1, 5})
+		compare(t, cat, 16, relq.Region{{Lo: -1, Hi: 80}})
+	})
+
+	t.Run("empty-region", func(t *testing.T) {
+		// A region matching nothing: Count 0 and the Zero sentinels must
+		// survive a 16-way merge bit-identically; MIN/MAX/AVG Finals are
+		// NaN on both sides.
+		cat := edgeCatalog(t, []float64{3, 1, 4, 1, 5, 9, 2, 6})
+		mono := New(cat)
+		sv, err := NewShardedOn(cat, "fact", 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		region := relq.Region{{Lo: -1, Hi: -0.5}} // x <= -40: empty
+		for _, ea := range edgeAggs {
+			q := factQuery(ea.f, ea.attr)
+			want, err := mono.Aggregate(q, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sv.Aggregate(q, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want || got.Count != 0 {
+				t.Fatalf("%v: sharded %+v, engine %+v (want empty Zero)", ea.f, got, want)
+			}
+			if !math.IsInf(got.Min, 1) || !math.IsInf(got.Max, -1) {
+				t.Fatalf("%v: empty merge lost the Zero sentinels: %+v", ea.f, got)
+			}
+		}
+		compare(t, cat, 16, region)
+	})
+
+	t.Run("one-shard-skew", func(t *testing.T) {
+		// 100 rows over 4 shards; region x <= 10 matches rows 0..10,
+		// all inside shard 0. The other shards fold in Zero, so the
+		// result must be bit-identical to the monolithic scan.
+		vals := make([]float64, 100)
+		for i := range vals {
+			vals[i] = float64(i) * 1.25
+		}
+		cat := edgeCatalog(t, vals)
+		mono := New(cat)
+		sv, err := NewShardedOn(cat, "fact", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		region := relq.Region{{Lo: -1, Hi: 0}} // x <= 10 ⊂ shard 0 ([0,25))
+		for _, ea := range edgeAggs {
+			q := factQuery(ea.f, ea.attr)
+			want, err := mono.Aggregate(q, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sv.Aggregate(q, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%v: skewed merge not bit-identical: sharded %+v, engine %+v", ea.f, got, want)
+			}
+		}
+		// The symmetric skew: all matching rows in the LAST shard.
+		last := relq.Region{{Lo: 70, Hi: 120}} // 80 <= x <= 130 ⊂ shard 3 ([75,100))
+		compare(t, cat, 4, last)
+	})
+
+	t.Run("inf-sentinels", func(t *testing.T) {
+		// Data containing ±Inf values must be distinguishable from the
+		// Zero sentinels of empty shards: MIN folds to -Inf, MAX to
+		// +Inf, exactly as the monolithic scan computes them.
+		cat := edgeCatalog(t, []float64{1, math.Inf(1), 2, math.Inf(-1), 3, 4, 5, 6, 7, 8})
+		compare(t, cat, 7, relq.Region{{Lo: -1, Hi: 80}})
+	})
+
+	t.Run("nan-data", func(t *testing.T) {
+		// NaN aggregate values: Step skips them for MIN/MAX (NaN
+		// comparisons are false) but poisons SUM; the merged result must
+		// mirror the monolithic behaviour — same Count, NaN Sum on both
+		// sides, NaN-free Min/Max.
+		cat := edgeCatalog(t, []float64{1, math.NaN(), 2, 3, math.NaN(), 4, 5, 6})
+		compare(t, cat, 3, relq.Region{{Lo: -1, Hi: 80}})
+	})
+
+	t.Run("avg-recomposition", func(t *testing.T) {
+		// AVG is carried as SUM + COUNT (§2.6); the merged partial must
+		// recompose to Sum/Count, equal to the monolithic average.
+		vals := make([]float64, 64)
+		for i := range vals {
+			vals[i] = math.Sin(float64(i)) * 100
+		}
+		cat := edgeCatalog(t, vals)
+		sv, err := NewShardedOn(cat, "fact", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := factQuery(relq.AggAvg, "v")
+		region := relq.Region{{Lo: -1, Hi: 80}}
+		got, err := sv.Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count == 0 {
+			t.Fatal("AVG region matched nothing")
+		}
+		spec, err := agg.SpecFor(q.Constraint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := spec.Final(got)
+		if want := got.Sum / float64(got.Count); math.Abs(f-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("AVG Final %v does not recompose from Sum/Count = %v", f, want)
+		}
+		mono, err := New(cat).Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wf := spec.Final(mono); math.Abs(f-wf) > 1e-9*(1+math.Abs(wf)) {
+			t.Fatalf("AVG Final %v, engine %v", f, wf)
+		}
+	})
+}
+
+// TestShardedRoutesNonFactQueries: a query that does not reference the
+// partitioned fact table must be routed whole to shard 0 (its broadcast
+// catalog is complete for it) — scattering would count the broadcast
+// tables once per shard. Fact-referencing join queries scatter and
+// still match the monolithic engine.
+func TestShardedRoutesNonFactQueries(t *testing.T) {
+	cat, err := tpch.Generate(tpch.Config{Rows: 1500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := New(cat)
+	sv, err := NewSharded(cat, 4) // partsupp is the largest table
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.FactTable() != "partsupp" {
+		t.Fatalf("fact table %q, want partsupp (largest)", sv.FactTable())
+	}
+
+	// Supplier-only query: no partsupp reference → routed.
+	suppQ := &relq.Query{
+		Tables: []string{"supplier"},
+		Dims: []relq.Dimension{{
+			Kind:  relq.SelectLE,
+			Col:   relq.ColumnRef{Table: "supplier", Column: "s_acctbal"},
+			Bound: 5000, Width: 10000,
+		}},
+		Constraint: relq.Constraint{
+			Func: relq.AggSum, Op: relq.CmpGE, Target: 1,
+			Attr: relq.ColumnRef{Table: "supplier", Column: "s_acctbal"},
+		},
+	}
+	region := relq.Region{{Lo: -1, Hi: 0.3}}
+	want, err := mono.Aggregate(suppQ, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sv.Aggregate(suppQ, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		// Shard 0 holds the identical broadcast table, so the routed
+		// result is bit-identical, no merge involved.
+		t.Fatalf("routed query: sharded %+v, engine %+v", got, want)
+	}
+	batch, err := sv.AggregateBatch(context.Background(), suppQ, []relq.Region{region, region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range batch {
+		if p != want {
+			t.Fatalf("routed batch: %+v, want %+v", p, want)
+		}
+	}
+	st := sv.ScatterStats()
+	if st.Routed != 2 || st.Scatters != 0 {
+		t.Fatalf("ScatterStats = %+v, want Routed=2 Scatters=0", st)
+	}
+
+	// Three-table join through the fact table: scattered, and the
+	// per-shard join partials merge to the monolithic result (each fact
+	// row joins within exactly one shard).
+	joinQ := &relq.Query{
+		Tables: []string{"supplier", "part", "partsupp"},
+		Fixed: []relq.FixedPred{
+			{Kind: relq.FixedEquiJoin,
+				Left:  relq.ColumnRef{Table: "part", Column: "p_partkey"},
+				Right: relq.ColumnRef{Table: "partsupp", Column: "ps_partkey"}},
+			{Kind: relq.FixedEquiJoin,
+				Left:  relq.ColumnRef{Table: "supplier", Column: "s_suppkey"},
+				Right: relq.ColumnRef{Table: "partsupp", Column: "ps_suppkey"}},
+		},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE,
+				Col:   relq.ColumnRef{Table: "part", Column: "p_retailprice"},
+				Bound: 1500, Width: 1000},
+			{Kind: relq.SelectLE,
+				Col:   relq.ColumnRef{Table: "supplier", Column: "s_acctbal"},
+				Bound: 5000, Width: 10000},
+		},
+		Constraint: relq.Constraint{
+			Func: relq.AggSum, Op: relq.CmpGE, Target: 1,
+			Attr: relq.ColumnRef{Table: "partsupp", Column: "ps_availqty"},
+		},
+	}
+	jr := relq.Region{{Lo: -1, Hi: 0.6}, {Lo: -1, Hi: 0.4}}
+	jwant, err := mono.Aggregate(joinQ, jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbatch, err := sv.AggregateBatch(context.Background(), joinQ, []relq.Region{jr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jgot := jbatch[0]
+	if jgot.Count != jwant.Count || jgot.Min != jwant.Min || jgot.Max != jwant.Max ||
+		!agg.ApproxEqual(jgot, jwant, 1e-9) {
+		t.Fatalf("scattered join: sharded %+v, engine %+v", jgot, jwant)
+	}
+	if jwant.Count == 0 {
+		t.Fatal("join region matched nothing — workload bug")
+	}
+	if st := sv.ScatterStats(); st.Scatters != 1 || st.Partials != 4 {
+		t.Fatalf("after join: ScatterStats = %+v, want Scatters=1 Partials=4", st)
+	}
+}
+
+// errAfter is a context whose Err trips after a fixed number of polls —
+// a deterministic stand-in for mid-flight cancellation.
+type errAfter struct {
+	context.Context
+	calls atomic.Int64
+	limit int64
+}
+
+func (c *errAfter) Err() error {
+	if c.calls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestShardedCancellation: both the serial and the pooled scatter paths
+// must stop on context cancellation and surface ctx.Err().
+func TestShardedCancellation(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewShardedOn(cat, "users", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	regions := make([]relq.Region, 32)
+	for i := range regions {
+		regions[i] = relq.Region{{Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}}
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		sv.SetParallelism(workers)
+		if _, err := sv.AggregateBatch(cancelled, q, regions); err != context.Canceled {
+			t.Fatalf("workers=%d: pre-cancelled batch returned %v, want context.Canceled", workers, err)
+		}
+	}
+
+	// Mid-flight: let a handful of tasks through, then trip. The serial
+	// path polls once per task, so the trip point is deterministic.
+	sv.SetParallelism(1)
+	mid := &errAfter{Context: context.Background(), limit: 5}
+	if _, err := sv.AggregateBatch(mid, q, regions); err != context.Canceled {
+		t.Fatalf("mid-flight cancellation returned %v, want context.Canceled", err)
+	}
+	sv.SetParallelism(8)
+	mid = &errAfter{Context: context.Background(), limit: 20}
+	if _, err := sv.AggregateBatch(mid, q, regions); err != context.Canceled {
+		t.Fatalf("pooled mid-flight cancellation returned %v, want context.Canceled", err)
+	}
+}
+
+// TestShardedViolationScan: the concatenated per-shard scans with
+// row-id translation must equal the monolithic scan row for row (range
+// partitioning preserves row order).
+func TestShardedViolationScan(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 1777, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := usersQuery(relq.AggSum, "spend", usersDims()...)
+	want, err := New(cat).ViolationScan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewShardedOn(cat, "users", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sv.ViolationScan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sharded scan returned %d rows, engine %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Row != w.Row || g.AggValue != w.AggValue || len(g.Viol) != len(w.Viol) {
+			t.Fatalf("row %d: sharded %+v, engine %+v", i, g, w)
+		}
+		for j := range g.Viol {
+			if g.Viol[j] != w.Viol[j] {
+				t.Fatalf("row %d viol %d: %v vs %v", i, j, g.Viol[j], w.Viol[j])
+			}
+		}
+	}
+}
+
+// TestShardedInvalidateTableBroadcast is the regression test for the
+// shard-blind invalidation bug: after an in-place table replacement,
+// InvalidateTable must re-resolve the partition AND drop every
+// shard-local cache, grid and column cache — a single-instance drop
+// would leave stale shard state serving old results.
+func TestShardedInvalidateTableBroadcast(t *testing.T) {
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = float64(i%17) + 1
+	}
+	cat := edgeCatalog(t, vals)
+	sv, err := NewShardedOn(cat, "fact", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.BuildGridAggIndex("fact", []string{"x"}, []string{"v"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	sv.EnableRegionCache(1 << 20)
+
+	q := factQuery(relq.AggSum, "v")
+	region := relq.Region{{Lo: -1, Hi: 300}} // x <= 310: everything, even post-growth
+	ctx := context.Background()
+	warm := func() agg.Partial {
+		t.Helper()
+		got, err := sv.AggregateBatch(ctx, q, []relq.Region{region})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got[0]
+	}
+	before := warm()
+	warm() // populate + hit the shard caches
+	if sv.CacheStats().Hits == 0 {
+		t.Fatal("shard region caches never hit — test not exercising cached state")
+	}
+
+	// Replace the fact table in place: same rows, v doubled. Row count
+	// is unchanged, so no generation-based invalidation can catch this.
+	doubled := data.NewTable("fact", data.MustSchema(
+		data.Column{Name: "x", Type: data.Float64},
+		data.Column{Name: "v", Type: data.Float64},
+	))
+	for i, v := range vals {
+		if err := doubled.AppendRow(data.FloatValue(float64(i)), data.FloatValue(2*v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat.Replace(doubled)
+	sv.InvalidateTable("fact")
+
+	after := warm()
+	want, err := New(cat).Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count != want.Count || !agg.ApproxEqual(after, want, 1e-9) {
+		t.Fatalf("post-invalidation result stale: sharded %+v, fresh engine %+v", after, want)
+	}
+	if math.Abs(after.Sum-2*before.Sum) > 1e-6 {
+		t.Fatalf("post-invalidation Sum %v, want ~%v (doubled)", after.Sum, 2*before.Sum)
+	}
+
+	// Growth: appends land in the parent table; InvalidateTable must
+	// re-slice the partition so the new rows join the shards.
+	parent, err := cat.Table("fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := parent.AppendRow(data.FloatValue(float64(200+i)), data.FloatValue(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sv.InvalidateTable("fact")
+	grown := warm()
+	want2, err := New(cat).Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Count != want2.Count || grown.Count != after.Count+40 ||
+		!agg.ApproxEqual(grown, want2, 1e-9) {
+		t.Fatalf("post-growth result stale: sharded %+v, fresh engine %+v", grown, want2)
+	}
+}
+
+// TestShardedObserverMetrics: the scatter layer must register and move
+// the acquire_shard_* series the CI engagement guard asserts on.
+func TestShardedObserverMetrics(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 600, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewShardedOn(cat, "users", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sv.SetObserver(obs.NewObserver(reg))
+
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	regions := []relq.Region{
+		{{Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}},
+		{{Lo: -1, Hi: 10}, {Lo: -1, Hi: 10}, {Lo: -1, Hi: 10}},
+	}
+	if _, err := sv.AggregateBatch(context.Background(), q, regions); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap["acquire_shard_partials_total"]; got != 6 { // 2 regions × 3 shards
+		t.Errorf("acquire_shard_partials_total = %v, want 6", got)
+	}
+	if got := snap["acquire_shard_scatters_total"]; got != 1 {
+		t.Errorf("acquire_shard_scatters_total = %v, want 1", got)
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf(`acquire_shard_regions_total{shard="%d"}`, i)
+		if got := snap[name]; got != 2 {
+			t.Errorf("%s = %v, want 2", name, got)
+		}
+	}
+	if st := sv.ShardStats(); len(st) != 3 || st[2].Hi != 600 || st[0].Stats.Queries == 0 {
+		t.Errorf("ShardStats unexpected: %+v", st)
+	}
+}

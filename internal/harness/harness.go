@@ -20,7 +20,6 @@ import (
 	"acquire/internal/core"
 	"acquire/internal/data"
 	"acquire/internal/exec"
-	"acquire/internal/exec/regioncache"
 	"acquire/internal/index"
 	"acquire/internal/obs"
 	"acquire/internal/relq"
@@ -55,6 +54,12 @@ type Config struct {
 	// (-cache): repeated and overlapping searches reuse each other's
 	// region executions (see the "repeated" experiment).
 	CacheMB int
+	// Shards, when > 1, replaces the monolithic engine with a
+	// ShardedEvaluator scatter-gathering over that many range
+	// partitions of the fact table (-shards). Every experiment then
+	// exercises the sharded path end to end; results stay equivalent by
+	// the §2.6 merge rule.
+	Shards int
 	// Obs instruments every engine and search the harness builds
 	// (metrics, phase spans, events); nil runs uninstrumented. Excluded
 	// from results JSON — it is a live handle, not a parameter.
@@ -116,36 +121,49 @@ type Figure struct {
 }
 
 // usersEngine builds the single-table ad-campaign dataset.
-func usersEngine(cfg Config) (*exec.Engine, error) {
+func usersEngine(cfg Config) (exec.Evaluator, error) {
 	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: cfg.Rows, Zipf: cfg.Zipf, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(cat, cfg), nil
+	return newEngine(cat, cfg)
 }
 
 // tpchEngine builds the three-table supply-chain dataset.
-func tpchEngine(cfg Config) (*exec.Engine, error) {
+func tpchEngine(cfg Config) (exec.Evaluator, error) {
 	cat, err := tpch.Generate(tpch.Config{Rows: cfg.Rows, Zipf: cfg.Zipf, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(cat, cfg), nil
+	return newEngine(cat, cfg)
 }
 
-func newEngine(cat *data.Catalog, cfg Config) *exec.Engine {
-	e := exec.New(cat)
+// newEngine builds the evaluation layer for a catalog: a monolithic
+// Engine, or — with cfg.Shards > 1 — a ShardedEvaluator over range
+// partitions of the largest table (users / partsupp, the fact table of
+// each skeleton).
+func newEngine(cat *data.Catalog, cfg Config) (exec.Evaluator, error) {
+	var e exec.Evaluator
+	if cfg.Shards > 1 {
+		sv, err := exec.NewSharded(cat, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		e = sv
+	} else {
+		e = exec.New(cat)
+	}
 	e.SetObserver(cfg.Obs)
 	if cfg.CacheMB > 0 {
-		e.SetRegionCache(regioncache.New(int64(cfg.CacheMB) << 20))
+		e.EnableRegionCache(int64(cfg.CacheMB) << 20)
 	}
-	return e
+	return e, nil
 }
 
 // RunACQUIRE measures one ACQUIRE execution. The context cancels the
 // search mid-flight (every runner threads it down to the evaluation
 // layer, so acqbench's signal handling interrupts real work).
-func RunACQUIRE(ctx context.Context, e *exec.Engine, q *relq.Query, opts core.Options) (Measurement, error) {
+func RunACQUIRE(ctx context.Context, e exec.Evaluator, q *relq.Query, opts core.Options) (Measurement, error) {
 	clk := opts.Observer.Clock() // Real for a nil observer
 	before := e.Snapshot()
 	start := clk.Now()
@@ -175,7 +193,7 @@ func RunACQUIRE(ctx context.Context, e *exec.Engine, q *relq.Query, opts core.Op
 }
 
 // RunTopK measures the Top-k baseline.
-func RunTopK(ctx context.Context, e *exec.Engine, q *relq.Query) (Measurement, error) {
+func RunTopK(ctx context.Context, e exec.Evaluator, q *relq.Query) (Measurement, error) {
 	clk := e.Observer().Clock()
 	start := clk.Now()
 	out, err := baseline.TopKContext(ctx, e, q)
@@ -187,7 +205,7 @@ func RunTopK(ctx context.Context, e *exec.Engine, q *relq.Query) (Measurement, e
 }
 
 // RunBinSearch measures the BinSearch baseline.
-func RunBinSearch(ctx context.Context, e *exec.Engine, q *relq.Query, delta float64) (Measurement, error) {
+func RunBinSearch(ctx context.Context, e exec.Evaluator, q *relq.Query, delta float64) (Measurement, error) {
 	clk := e.Observer().Clock()
 	start := clk.Now()
 	out, err := baseline.BinSearchContext(ctx, e, q, baseline.BinSearchOptions{Delta: delta})
@@ -199,7 +217,7 @@ func RunBinSearch(ctx context.Context, e *exec.Engine, q *relq.Query, delta floa
 }
 
 // RunTQGen measures the TQGen baseline.
-func RunTQGen(ctx context.Context, e *exec.Engine, q *relq.Query, cfg Config) (Measurement, error) {
+func RunTQGen(ctx context.Context, e exec.Evaluator, q *relq.Query, cfg Config) (Measurement, error) {
 	clk := e.Observer().Clock()
 	start := clk.Now()
 	out, err := baseline.TQGenContext(ctx, e, q, baseline.TQGenOptions{
@@ -241,7 +259,7 @@ func acquireOpts(cfg Config) core.Options {
 // constraint's aggregate column when it lives on the same table. Joins
 // and non-select dimensions leave the engine untouched — the kernel
 // would never engage for them.
-func ensureGridAgg(e *exec.Engine, q *relq.Query) error {
+func ensureGridAgg(e exec.Evaluator, q *relq.Query) error {
 	if len(q.Tables) != 1 {
 		return nil
 	}
@@ -275,7 +293,7 @@ func ensureGridAgg(e *exec.Engine, q *relq.Query) error {
 }
 
 // compareAll runs all four methods on a freshly calibrated Users query.
-func compareAll(ctx context.Context, e *exec.Engine, cfg Config, dims int, ratio float64) (map[string]Measurement, error) {
+func compareAll(ctx context.Context, e exec.Evaluator, cfg Config, dims int, ratio float64) (map[string]Measurement, error) {
 	out := make(map[string]Measurement, 4)
 
 	build := func() (*relq.Query, error) {
