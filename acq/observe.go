@@ -26,6 +26,16 @@ type (
 	// Clock abstracts time for span measurement; tests inject
 	// obs.NewFakeClock instead of sleeping.
 	Clock = obs.Clock
+	// SearchTrace is one search's hierarchical span tree (export it
+	// with WriteChromeJSON, browse it at /debug/traces/<id>).
+	SearchTrace = obs.Trace
+	// TraceSpan is one timed node of a SearchTrace.
+	TraceSpan = obs.TraceSpan
+	// FlightRecorder is the bounded ring of recently completed search
+	// traces (byte-capped, tail-based keep).
+	FlightRecorder = obs.FlightRecorder
+	// RecorderConfig bounds and filters a FlightRecorder.
+	RecorderConfig = obs.RecorderConfig
 )
 
 // NewMetricsRegistry creates an empty metric registry; attach it with
@@ -42,8 +52,36 @@ func NewObserver(reg *MetricsRegistry) *Observer { return obs.NewObserver(reg) }
 // It returns the bound address (useful with ":0") and a shutdown
 // function.
 func ServeMetrics(addr string, reg *MetricsRegistry) (string, func(), error) {
-	return obs.Serve(addr, reg)
+	return obs.Serve(addr, reg, nil)
 }
+
+// ServeObs is ServeMetrics plus the flight-recorder endpoints: the
+// server additionally exposes /debug/traces (index) and
+// /debug/traces/<id> (Chrome trace-event JSON). rec may be nil.
+func ServeObs(addr string, reg *MetricsRegistry, rec *FlightRecorder) (string, func(), error) {
+	return obs.Serve(addr, reg, rec)
+}
+
+// EnableTracing attaches a flight recorder to the session: every
+// refinement search from then on records a hierarchical span tree
+// (search root → per-layer expand/prefetch/fold/repartition spans →
+// engine batch / per-shard scatter spans) and deposits it in the
+// returned recorder, subject to its tail-based keep and byte cap.
+// Calling it again replaces the recorder; a zero RecorderConfig gets
+// defaults (8 MiB cap, keep every trace).
+func (s *Session) EnableTracing(cfg RecorderConfig) *FlightRecorder {
+	rec := obs.NewFlightRecorder(cfg)
+	o := s.obs
+	if o == nil {
+		o = obs.NewObserver(nil)
+	}
+	s.Observe(o.WithRecorder(rec))
+	return rec
+}
+
+// Recorder returns the flight recorder attached by EnableTracing (nil
+// when tracing is off).
+func (s *Session) Recorder() *FlightRecorder { return s.obs.Recorder() }
 
 // Observe attaches an observer to the session: the engine mirrors its
 // statistics into the observer's registry, refinement searches run
@@ -72,8 +110,8 @@ func (s *Session) Metrics() *MetricsRegistry {
 		reg := obs.NewRegistry()
 		o := obs.NewObserver(reg)
 		if s.obs != nil {
-			// Preserve a previously attached clock/logger.
-			o = o.WithClock(s.obs.Clock())
+			// Preserve a previously attached clock/recorder.
+			o = o.WithClock(s.obs.Clock()).WithRecorder(s.obs.Recorder())
 		}
 		s.Observe(o)
 	}

@@ -42,7 +42,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := httptest.NewServer(obs.NewMux(reg))
+	srv := httptest.NewServer(obs.NewMux(reg, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {

@@ -394,6 +394,44 @@ func BenchmarkParallelExploreObserved(b *testing.B) {
 	e.Parallelism = 0
 }
 
+// BenchmarkParallelExploreTraced is BenchmarkParallelExploreObserved
+// with a flight recorder attached as well, so every search builds and
+// records a full span tree (layer, prefetch, fold, engine batch and
+// per-region evaluate spans). CI compares it against the bare
+// benchmark: tracing must cost less than 3x (in practice the span
+// bookkeeping is a small constant per phase, dwarfed by row scans).
+func BenchmarkParallelExploreTraced(b *testing.B) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 100000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := exec.New(cat)
+	rec := obs.NewFlightRecorder(obs.RecorderConfig{})
+	o := obs.NewObserver(obs.NewRegistry()).WithRecorder(rec)
+	e.SetObserver(o)
+	q, err := workload.BuildCalibrated(e, workload.Spec{
+		Kind: workload.Users, Dims: 3, Agg: relq.AggCount, Ratio: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			e.Parallelism = w
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunContext(context.Background(), e, q,
+					core.Options{Gamma: 20, Delta: 0.05, Observer: o}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if rec.Len() == 0 {
+				b.Fatal("no traces recorded")
+			}
+		})
+	}
+	e.Parallelism = 0
+}
+
 // BenchmarkShardedExplore measures the full ACQUIRE search against the
 // sharded evaluation stack at 100K-row scale: the fig. 8 calibrated
 // 3-predicate COUNT search, run through exec.NewShardedOn with the

@@ -107,9 +107,12 @@ func run(ctx context.Context, args []string) error {
 		cache   = fs.Bool("cache", false, "attach a cross-search partial-aggregate cache to every engine")
 		shards  = fs.Int("shards", 1, "run harness engines as a ShardedEvaluator over N range-partitioned shards")
 		cacheMB = fs.Int("cache-mb", 64, "region cache capacity in MiB (with -cache)")
-		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while experiments run")
+		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/traces on this address while experiments run")
 		logJSON = fs.Bool("log-json", false, "emit structured search/engine events as JSON on stderr")
 		jsonOut = fs.String("json", "", "also write figures + config + metric snapshot as JSON to this file")
+		traceDir    = fs.String("trace-dir", "", "record search span trees and write them here as Chrome trace-event JSON")
+		traceSample = fs.Int("trace-sample", 0, "with tracing: keep 1-in-N fast searches (0 or 1 = keep all)")
+		traceSlow   = fs.Duration("trace-slow", 0, "with tracing: always keep searches slower than this (tail-based keep)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,21 +128,31 @@ func run(ctx context.Context, args []string) error {
 
 	// Observability: one registry + observer instruments every engine
 	// and search the harness builds; -json snapshots it at the end.
+	// The -trace-* flags additionally attach a flight recorder through
+	// the same observer, so every harness search records a span tree.
+	tracing := *traceDir != "" || *traceSample > 0 || *traceSlow > 0
 	var reg *obs.Registry
-	if *metrics != "" || *logJSON || *jsonOut != "" {
+	var rec *obs.FlightRecorder
+	if *metrics != "" || *logJSON || *jsonOut != "" || tracing {
 		reg = obs.NewRegistry()
 		o := obs.NewObserver(reg)
 		if *logJSON {
 			o = o.WithLogger(slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})))
 		}
+		if tracing {
+			rec = obs.NewFlightRecorder(obs.RecorderConfig{
+				SampleN: *traceSample, SlowThreshold: *traceSlow,
+			})
+			o = o.WithRecorder(rec)
+		}
 		cfg.Obs = o
 		if *metrics != "" {
-			addr, shutdown, err := obs.Serve(*metrics, reg)
+			addr, shutdown, err := obs.Serve(*metrics, reg, rec)
 			if err != nil {
 				return err
 			}
 			defer shutdown()
-			fmt.Fprintf(os.Stderr, "acqbench: serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+			fmt.Fprintf(os.Stderr, "acqbench: serving metrics on http://%s/metrics (pprof at /debug/pprof/, traces at /debug/traces)\n", addr)
 		}
 	}
 	var sizes []int
@@ -153,9 +166,21 @@ func run(ctx context.Context, args []string) error {
 		}
 	}
 
-	// writeJSON archives the run when -json is set: figures, config and
-	// the metric registry snapshot in one machine-readable file.
+	// writeJSON finalises the instrumented run: the per-phase latency
+	// quantile table on stdout, recorded traces to -trace-dir, and —
+	// when -json is set — figures, config and the metric registry
+	// snapshot in one machine-readable file.
 	writeJSON := func(figs []harness.Figure) error {
+		if ls := harness.LatencySummary(reg); ls != "" {
+			fmt.Println(ls)
+		}
+		if rec != nil && *traceDir != "" {
+			n, err := rec.WriteDir(*traceDir)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "acqbench: wrote %d trace(s) to %s\n", n, *traceDir)
+		}
 		if *jsonOut == "" {
 			return nil
 		}

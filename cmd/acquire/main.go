@@ -71,8 +71,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		explain = fs.Bool("explain", false, "print the search trace (one line per explored refined query)")
 		show    = fs.Int("show", 0, "materialise up to N result rows of the best refined query")
 		saveDir = fs.String("save", "", "write every loaded/generated table to this directory as CSV")
-		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080)")
+		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/traces on this address (e.g. :8080)")
 		logJSON = fs.Bool("log-json", false, "emit structured search/engine events as JSON on stderr")
+		traceDir    = fs.String("trace-dir", "", "record search span trees and write them here as Chrome trace-event JSON (Perfetto-loadable)")
+		traceSample = fs.Int("trace-sample", 0, "with tracing: keep 1-in-N fast searches (0 or 1 = keep all)")
+		traceSlow   = fs.Duration("trace-slow", 0, "with tracing: always keep searches slower than this (tail-based keep)")
 	)
 	fs.Var(&loads, "load", "load a CSV table: name=path (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -112,20 +115,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	// Observability: -metrics-addr serves the session registry live
 	// (curl addr/metrics mid-search); -log-json streams the structured
-	// event feed. Both attach the same observer, so they compose.
-	if *metrics != "" || *logJSON {
+	// event feed; the -trace-* flags record hierarchical search traces
+	// into a flight recorder served at /debug/traces and archived to
+	// -trace-dir. All attach the same observer, so they compose.
+	tracing := *traceDir != "" || *traceSample > 0 || *traceSlow > 0
+	var rec *acq.FlightRecorder
+	if *metrics != "" || *logJSON || tracing {
 		reg := s.Metrics()
 		if *logJSON {
 			logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 			s.Observe(s.Observer().WithLogger(logger))
 		}
+		if tracing {
+			rec = s.EnableTracing(acq.RecorderConfig{
+				SampleN: *traceSample, SlowThreshold: *traceSlow,
+			})
+		}
 		if *metrics != "" {
-			addr, shutdown, err := acq.ServeMetrics(*metrics, reg)
+			addr, shutdown, err := acq.ServeObs(*metrics, reg, rec)
 			if err != nil {
 				return err
 			}
 			defer shutdown()
-			fmt.Fprintf(os.Stderr, "acquire: serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+			fmt.Fprintf(os.Stderr, "acquire: serving metrics on http://%s/metrics (pprof at /debug/pprof/, traces at /debug/traces)\n", addr)
 		}
 	}
 
@@ -239,6 +251,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if _, err := trace.WriteTo(out); err != nil {
 			return err
 		}
+	}
+	if rec != nil && *traceDir != "" {
+		n, err := rec.WriteDir(*traceDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "acquire: wrote %d trace(s) to %s\n", n, *traceDir)
 	}
 	st := s.Stats()
 	fmt.Fprintf(out, "explored %d refined queries via %d evaluation-layer executions (%d rows scanned)\n",

@@ -201,6 +201,30 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 	o := opts.Observer
 	clk := o.Clock()
 	searchSpan := o.StartPhase("search")
+	lt, _ := opts.Trace.(LayerTracer)
+
+	// Hierarchical tracing: one span tree per search. The root either
+	// nests under a caller-provided span (ctx) or starts a fresh Trace
+	// when the observer carries a flight recorder — or when a
+	// LayerTracer is attached, so the CLI's -explain layer table is
+	// always derived from the same span tree /debug/traces serves.
+	// When none of those hold every SpanRef below is the zero value
+	// and the whole block is free.
+	parentSp := obs.SpanFromContext(ctx)
+	var tr *obs.Trace
+	var root obs.SpanRef
+	switch {
+	case parentSp.Active():
+		root = parentSp.StartChild("search")
+	case o.TracingEnabled() || lt != nil:
+		tr = obs.NewTrace(o.SearchID(), clk)
+		root = tr.NewSpan(0, "search")
+	}
+	if root.Active() {
+		root.SetAttrs(obs.Float("gamma", opts.Gamma), obs.Float("delta", opts.Delta),
+			obs.String("norm", opts.Norm.Name()), obs.Int("dims", int64(q.NumDims())))
+	}
+
 	o.Counter("acquire_searches_total", "Refinement searches started.").Inc()
 	pointsC := o.Counter("acquire_search_points_explored_total", "Grid queries investigated across all searches.")
 	layersG := o.Gauge("acquire_search_layers_explored", "Expand layers explored by the current/most recent search.")
@@ -229,7 +253,6 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 	lf := newLayerFrontier(fr, func(p point) float64 {
 		return opts.Norm.Score(p.scores(sp.step))
 	})
-	lt, _ := opts.Trace.(LayerTracer)
 	layerIdx := 0
 
 	record := func(rq relq.RefinedQuery) {
@@ -256,12 +279,26 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 		attrs := []any{"satisfied", res.Satisfied, "explored", res.Explored,
 			"cell_queries", res.CellQueries, "stored_points", res.StoredPoints,
 			"exhausted", res.Exhausted}
+		var engDelta exec.Stats
 		if hasEngStats {
-			d := engStats.Snapshot().Sub(engBefore)
-			attrs = append(attrs, "rows_scanned", d.RowsScanned,
-				"cells_skipped", d.CellsSkipped, "cells_merged", d.CellsMerged,
-				"boundary_rows", d.BoundaryRows,
-				"cache_hits", d.CacheHits, "cache_misses", d.CacheMisses)
+			engDelta = engStats.Snapshot().Sub(engBefore)
+			attrs = append(attrs, "rows_scanned", engDelta.RowsScanned,
+				"cells_skipped", engDelta.CellsSkipped, "cells_merged", engDelta.CellsMerged,
+				"boundary_rows", engDelta.BoundaryRows,
+				"cache_hits", engDelta.CacheHits, "cache_misses", engDelta.CacheMisses)
+		}
+		if root.Active() {
+			root.SetAttrs(obs.Bool("satisfied", res.Satisfied),
+				obs.Int("explored", int64(res.Explored)),
+				obs.Int("cell_queries", int64(res.CellQueries)),
+				obs.Bool("exhausted", res.Exhausted))
+			if hasEngStats {
+				root.SetAttrs(obs.Int("rows_scanned", engDelta.RowsScanned),
+					obs.Int("cache_hits", engDelta.CacheHits),
+					obs.Int("cache_misses", engDelta.CacheMisses))
+			}
+			root.End()
+			o.Recorder().Add(tr) // tr is nil when nested under a caller's trace
 		}
 		o.Info("search.done", attrs...)
 		return res
@@ -273,6 +310,11 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 			return finish(), err
 		}
 		searchSpan.End()
+		if root.Active() {
+			root.SetAttrs(obs.String("error", err.Error()))
+			root.End()
+			o.Recorder().Add(tr)
+		}
 		o.Info("search.error", "error", err.Error())
 		return nil, err
 	}
@@ -283,7 +325,9 @@ search:
 			return finish(), err
 		}
 		spExpand := o.StartPhase("expand")
+		xsp := root.StartChild("expand")
 		layer, ok := lf.nextLayer()
+		xsp.End()
 		spExpand.End()
 		if !ok {
 			res.Exhausted = len(res.Queries) == 0
@@ -325,19 +369,26 @@ search:
 			pre = pre[:budget]
 		}
 		layerStart := clk.Now()
+		lsp := root.StartChild("layer")
 		spPrefetch := o.StartPhase("prefetch")
-		batchWidth, err := x.prefetch(ctx, pre)
+		psp := lsp.StartChild("prefetch")
+		batchWidth, err := x.prefetch(obs.ContextWithSpan(ctx, psp), pre)
+		psp.End()
 		spPrefetch.End()
 		if err != nil {
 			return fail(err)
 		}
 
 		spFold := o.StartPhase("fold")
+		fsp := lsp.StartChild("fold")
+		ctxFold := obs.ContextWithSpan(ctx, fsp)
 		for _, pt := range layer {
 			if res.Explored >= opts.MaxExplored {
 				res.Exhausted = true
 				res.Note = "exploration budget exhausted"
 				spFold.End()
+				fsp.End()
+				lsp.End()
 				break search
 			}
 			res.Explored++
@@ -345,7 +396,7 @@ search:
 			scores := pt.scores(sp.step)
 			qs := opts.Norm.Score(scores)
 
-			partial, err := x.aggregate(ctx, pt)
+			partial, err := x.aggregate(ctxFold, pt)
 			if err != nil {
 				return fail(err)
 			}
@@ -373,7 +424,9 @@ search:
 			case overshoots:
 				// §6: repartition the cell for b iterations.
 				spRep := o.StartPhase("repartition")
-				sub, found, err := repartition(ctx, x, sp, pt, spec, errFn, target, opts, q)
+				rsp := lsp.StartChild("repartition")
+				sub, found, err := repartition(obs.ContextWithSpan(ctx, rsp), x, sp, pt, spec, errFn, target, opts, q)
+				rsp.End()
 				spRep.End()
 				if err != nil {
 					return fail(err)
@@ -396,13 +449,24 @@ search:
 			}
 		}
 		spFold.End()
+		fsp.End()
 		layersG.Set(float64(layerIdx + 1))
 		layerWall := clk.Now().Sub(layerStart)
+		lsp.SetAttrs(obs.Int("layer", int64(layerIdx)), obs.Float("qscore", qs0),
+			obs.Int("width", int64(len(layer))), obs.Int("batch_width", int64(batchWidth)))
+		lsp.End()
 		if lt != nil {
-			lt.LayerDone(LayerEvent{
-				Layer: layerIdx, QScore: qs0, Width: len(layer),
-				BatchWidth: batchWidth, Wall: layerWall,
-			})
+			// Single source of truth: the CLI's layer table is derived
+			// from the very span /debug/traces serves. The literal
+			// fallback only fires when the trace hit its span cap.
+			if ev, ok := LayerEventFromSpan(lsp); ok {
+				lt.LayerDone(ev)
+			} else {
+				lt.LayerDone(LayerEvent{
+					Layer: layerIdx, QScore: qs0, Width: len(layer),
+					BatchWidth: batchWidth, Wall: layerWall,
+				})
+			}
 		}
 		if o.LogEnabled(slog.LevelInfo) {
 			o.Info("search.layer", "layer", layerIdx, "qscore", qs0,

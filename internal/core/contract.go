@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"acquire/internal/agg"
+	"acquire/internal/obs"
 	"acquire/internal/relq"
 )
 
@@ -78,6 +79,26 @@ func ContractContext(ctx context.Context, e Evaluator, q *relq.Query, opts Optio
 	o.Info("contract.start", "gamma", opts.Gamma, "delta", opts.Delta,
 		"norm", opts.Norm.Name(), "dims", q.NumDims(), "target", target)
 
+	// Tracing mirrors runSearch: contraction gets its own root (or
+	// nests under a caller span) and every candidate's AggregateBatch
+	// call carries the root via ctx, so engine and scatter spans nest
+	// under it.
+	parentSp := obs.SpanFromContext(ctx)
+	var tr *obs.Trace
+	var root obs.SpanRef
+	switch {
+	case parentSp.Active():
+		root = parentSp.StartChild("contract")
+	case o.TracingEnabled():
+		tr = obs.NewTrace(o.SearchID(), o.Clock())
+		root = tr.NewSpan(0, "contract")
+	}
+	if root.Active() {
+		root.SetAttrs(obs.Float("gamma", opts.Gamma), obs.Float("delta", opts.Delta),
+			obs.String("norm", opts.Norm.Name()), obs.Int("dims", int64(q.NumDims())))
+	}
+	ctxEval := obs.ContextWithSpan(ctx, root)
+
 	finish := func() *Result {
 		sort.Slice(res.Queries, func(i, j int) bool { return res.Queries[i].QScore < res.Queries[j].QScore })
 		if len(res.Queries) > 0 {
@@ -85,6 +106,14 @@ func ContractContext(ctx context.Context, e Evaluator, q *relq.Query, opts Optio
 			res.Best = &res.Queries[0]
 		}
 		span.End()
+		if root.Active() {
+			root.SetAttrs(obs.Bool("satisfied", res.Satisfied),
+				obs.Int("explored", int64(res.Explored)),
+				obs.Int("cell_queries", int64(res.CellQueries)),
+				obs.Bool("exhausted", res.Exhausted))
+			root.End()
+			o.Recorder().Add(tr)
+		}
 		o.Info("contract.done", "satisfied", res.Satisfied, "explored", res.Explored,
 			"cell_queries", res.CellQueries, "exhausted", res.Exhausted)
 		return res
@@ -113,12 +142,17 @@ func ContractContext(ctx context.Context, e Evaluator, q *relq.Query, opts Optio
 		pointsC.Inc()
 
 		contracted, scores := tightenQuery(q, w)
-		parts, err := e.AggregateBatch(ctx, contracted, []relq.Region{relq.PrefixRegion(make([]float64, len(q.Dims)))})
+		parts, err := e.AggregateBatch(ctxEval, contracted, []relq.Region{relq.PrefixRegion(make([]float64, len(q.Dims)))})
 		if err != nil {
 			if isCancellation(err) {
 				return finish(), err
 			}
 			span.End()
+			if root.Active() {
+				root.SetAttrs(obs.String("error", err.Error()))
+				root.End()
+				o.Recorder().Add(tr)
+			}
 			return nil, err
 		}
 		partial := parts[0]

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"acquire/internal/obs"
 	"acquire/internal/relq"
 )
 
@@ -104,6 +105,58 @@ func scoresString(scores []float64) string {
 		parts[i] = fmt.Sprintf("%.3g", s)
 	}
 	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// layerEventFromSpan reconstructs a LayerEvent from one "layer" span
+// of a search trace.
+func layerEventFromSpan(sp obs.TraceSpan) LayerEvent {
+	ev := LayerEvent{Wall: sp.Duration()}
+	if a, ok := sp.Attr("layer"); ok {
+		ev.Layer = int(a.I64())
+	}
+	if a, ok := sp.Attr("qscore"); ok {
+		ev.QScore = a.F64()
+	}
+	if a, ok := sp.Attr("width"); ok {
+		ev.Width = int(a.I64())
+	}
+	if a, ok := sp.Attr("batch_width"); ok {
+		ev.BatchWidth = int(a.I64())
+	}
+	return ev
+}
+
+// LayerEventFromSpan derives the LayerEvent for a live layer-span ref
+// (ok=false when the ref is inactive, e.g. the trace hit its span
+// cap). The search emits LayerTracer events through this, so the
+// -explain layer table and a trace's layer spans are one dataset.
+func LayerEventFromSpan(sp obs.SpanRef) (LayerEvent, bool) {
+	rec, ok := sp.Span()
+	if !ok {
+		return LayerEvent{}, false
+	}
+	return layerEventFromSpan(rec), true
+}
+
+// LayerEventsFromTrace walks a search trace's span tree and returns
+// the LayerEvents of every completed "layer" span under the root, in
+// start order — the root-span walk /debug/traces consumers use to
+// rebuild the CLI's layer table from an exported trace.
+func LayerEventsFromTrace(t *obs.Trace) []LayerEvent {
+	if t == nil {
+		return nil
+	}
+	root, ok := t.Root()
+	if !ok {
+		return nil
+	}
+	var out []LayerEvent
+	for _, sp := range t.Snapshot() {
+		if sp.Parent == root.ID && sp.Name == "layer" && !sp.End.IsZero() {
+			out = append(out, layerEventFromSpan(sp))
+		}
+	}
+	return out
 }
 
 // WriterTracer streams events to an io.Writer as they happen.

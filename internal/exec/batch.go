@@ -2,11 +2,13 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"sync"
 	"sync/atomic"
 
 	"acquire/internal/agg"
+	"acquire/internal/obs"
 	"acquire/internal/relq"
 )
 
@@ -39,6 +41,26 @@ func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []re
 	// batch shape (width × workers) for the structured log.
 	if o := e.Observer(); o.LogEnabled(slog.LevelDebug) {
 		o.Debug("engine.batch", "regions", len(regions), "workers", w)
+	}
+	// Hierarchical tracing: when the context carries a span, the batch
+	// gets a child span (with this engine's stat deltas — rows scanned,
+	// gridagg merges, cache traffic) and every region a nested
+	// "evaluate" span carrying its fingerprint and cache outcome. The
+	// untraced path pays one context lookup and allocates nothing.
+	if parent := obs.SpanFromContext(ctx); parent.Active() {
+		bsp := parent.StartChild("engine.batch")
+		bsp.SetAttrs(obs.Int("regions", int64(len(regions))), obs.Int("workers", int64(w)))
+		run = e.tracedRunner(q, b, bsp)
+		before := e.Snapshot()
+		defer func() {
+			d := e.Snapshot().Sub(before)
+			bsp.SetAttrs(obs.Int("rows_scanned", d.RowsScanned),
+				obs.Int("cells_merged", d.CellsMerged),
+				obs.Int("cells_skipped", d.CellsSkipped),
+				obs.Int("cache_hits", d.CacheHits),
+				obs.Int("cache_misses", d.CacheMisses))
+			bsp.End()
+		}()
 	}
 	if w <= 1 {
 		for i := range regions {
@@ -105,7 +127,37 @@ func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []re
 func (e *Engine) regionRunner(q *relq.Query, b *binding) func(relq.Region) (agg.Partial, error) {
 	if c := e.regionCache.Load(); c != nil {
 		fp := e.batchFingerprint(q, b)
-		return func(r relq.Region) (agg.Partial, error) { return e.aggregateCached(c, fp, b, r) }
+		return func(r relq.Region) (agg.Partial, error) {
+			p, _, err := e.aggregateCached(c, fp, b, r)
+			return p, err
+		}
 	}
 	return func(r relq.Region) (agg.Partial, error) { return e.aggregateBound(b, r) }
+}
+
+// tracedRunner is regionRunner with per-region "evaluate" child spans
+// under parent: each span records the region's (query shape, region)
+// fingerprint and — with a cache attached — whether it hit. Only built
+// when the incoming context carries an active span.
+func (e *Engine) tracedRunner(q *relq.Query, b *binding, parent obs.SpanRef) func(relq.Region) (agg.Partial, error) {
+	if c := e.regionCache.Load(); c != nil {
+		fp := e.batchFingerprint(q, b)
+		return func(r relq.Region) (agg.Partial, error) {
+			sp := parent.StartChild("evaluate")
+			p, hit, err := e.aggregateCached(c, fp, b, r)
+			if sp.Active() {
+				k := fp.WithRegion(r)
+				sp.SetAttrs(obs.String("fingerprint", fmt.Sprintf("%016x%016x", k.Hi, k.Lo)),
+					obs.Bool("cache_hit", hit))
+			}
+			sp.End()
+			return p, err
+		}
+	}
+	return func(r relq.Region) (agg.Partial, error) {
+		sp := parent.StartChild("evaluate")
+		p, err := e.aggregateBound(b, r)
+		sp.End()
+		return p, err
+	}
 }

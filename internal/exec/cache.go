@@ -90,19 +90,19 @@ func (e *Engine) batchFingerprint(q *relq.Query, b *binding) relq.Fingerprint {
 	return fp.Mix(gens...)
 }
 
-// aggregateCached executes one bound region through the region cache.
-// A hit (including joining another caller's in-flight execution of the
-// same region) returns the stored partial without touching the
-// execution path — Stats.Queries does not move. A miss executes
-// aggregateBound exactly once per key under the cache's singleflight
-// and stores the result.
-func (e *Engine) aggregateCached(c *regioncache.Cache, fp relq.Fingerprint, b *binding, region relq.Region) (agg.Partial, error) {
+// aggregateCached executes one bound region through the region cache
+// and reports whether it hit. A hit (including joining another
+// caller's in-flight execution of the same region) returns the stored
+// partial without touching the execution path — Stats.Queries does
+// not move. A miss executes aggregateBound exactly once per key under
+// the cache's singleflight and stores the result.
+func (e *Engine) aggregateCached(c *regioncache.Cache, fp relq.Fingerprint, b *binding, region relq.Region) (agg.Partial, bool, error) {
 	k := fp.WithRegion(region)
 	p, hit, evicted, err := c.Do(regioncache.Key{Hi: k.Hi, Lo: k.Lo}, func() (agg.Partial, error) {
 		return e.aggregateBound(b, region)
 	})
 	if err != nil {
-		return agg.Zero(), err
+		return agg.Zero(), false, err
 	}
 	if hit {
 		e.countCacheHits(1)
@@ -112,5 +112,5 @@ func (e *Engine) aggregateCached(c *regioncache.Cache, fp relq.Fingerprint, b *b
 	if evicted > 0 {
 		e.countCacheEvictions(evicted)
 	}
-	return p, nil
+	return p, hit, nil
 }

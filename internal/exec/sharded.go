@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"acquire/internal/agg"
 	"acquire/internal/data"
@@ -60,11 +62,22 @@ type ShardedEvaluator struct {
 
 // shardedObs holds the pre-resolved scatter-layer metric handles.
 type shardedObs struct {
-	o        *obs.Observer
-	partials *obs.Counter
-	scatters *obs.Counter
-	routed   *obs.Counter
-	regions  []*obs.Counter // per shard
+	o         *obs.Observer
+	partials  *obs.Counter
+	scatters  *obs.Counter
+	routed    *obs.Counter
+	regions   []*obs.Counter // per shard
+	skew      *obs.Gauge     // slowest/fastest shard busy time per scatter round
+	straggler *obs.Histogram // slowest shard's busy time per scatter round
+}
+
+// clock returns the observer's clock (Real when detached) — the
+// scatter timing path works with or without an attached observer.
+func (so *shardedObs) clock() obs.Clock {
+	if so == nil {
+		return obs.Real
+	}
+	return so.o.Clock()
 }
 
 // NewSharded partitions the catalog into n shards (fact table = the
@@ -178,8 +191,63 @@ func (sv *ShardedEvaluator) AggregateBatch(ctx context.Context, q *relq.Query, r
 		runs[s] = e.regionRunner(q, b)
 	}
 	sv.countScatter(nr)
-	if so := sv.obsShard.Load(); so != nil && so.o.LogEnabled(slog.LevelDebug) {
+	so := sv.obsShard.Load()
+	if so != nil && so.o.LogEnabled(slog.LevelDebug) {
 		so.o.Debug("engine.scatter", "shards", ns, "regions", nr)
+	}
+
+	// Shard-skew visibility: with an observer or an active trace span,
+	// every per-shard task is timed so the round's busy-time spread is
+	// measurable. Tracing additionally opens one "scatter" span with a
+	// "scatter.shard" child per shard (interval = dispatch to that
+	// shard's last task completion; attrs = partial counts, busy time
+	// and the shard engine's stat deltas). The skew ratio
+	// (slowest/fastest shard) feeds acquire_shard_skew_ratio and the
+	// straggler histogram. Untraced, unobserved runs skip all of it.
+	parentSp := obs.SpanFromContext(ctx)
+	timed := parentSp.Active() || so != nil
+	var (
+		ssp        obs.SpanRef
+		shardSpans []obs.SpanRef
+		before     []Stats
+		busyNS     []atomic.Int64
+		lastEnd    []atomic.Int64 // unix nanos of each shard's latest task end
+		clk        obs.Clock
+	)
+	if timed {
+		clk = so.clock()
+		if parentSp.Active() {
+			clk = parentSp.Clock()
+			ssp = parentSp.StartChild("scatter")
+			ssp.SetAttrs(obs.Int("shards", int64(ns)), obs.Int("regions", int64(nr)))
+			shardSpans = make([]obs.SpanRef, ns)
+			before = make([]Stats, ns)
+			for s := range shardSpans {
+				sp := ssp.StartChild("scatter.shard")
+				sp.SetAttrs(obs.Int("shard", int64(s)),
+					obs.Int("regions", int64(nr)), obs.Int("partials", int64(nr)))
+				shardSpans[s] = sp
+				before[s] = sv.engines[s].Snapshot()
+			}
+		}
+		busyNS = make([]atomic.Int64, ns)
+		lastEnd = make([]atomic.Int64, ns)
+		for s := range runs {
+			s, inner := s, runs[s]
+			runs[s] = func(r relq.Region) (agg.Partial, error) {
+				t0 := clk.Now()
+				p, err := inner(r)
+				t1 := clk.Now()
+				busyNS[s].Add(t1.Sub(t0).Nanoseconds())
+				for n := t1.UnixNano(); ; {
+					cur := lastEnd[s].Load()
+					if n <= cur || lastEnd[s].CompareAndSwap(cur, n) {
+						break
+					}
+				}
+				return p, err
+			}
+		}
 	}
 
 	parts := make([]agg.Partial, ns*nr)
@@ -236,6 +304,45 @@ func (sv *ShardedEvaluator) AggregateBatch(ctx context.Context, q *relq.Query, r
 		wg.Wait()
 		if firstErr != nil {
 			return nil, firstErr
+		}
+	}
+
+	if timed {
+		minB, maxB := int64(math.MaxInt64), int64(0)
+		for s := 0; s < ns; s++ {
+			b := busyNS[s].Load()
+			if b < minB {
+				minB = b
+			}
+			if b > maxB {
+				maxB = b
+			}
+			if shardSpans != nil {
+				d := sv.engines[s].Snapshot().Sub(before[s])
+				shardSpans[s].SetAttrs(obs.Int("busy_ns", b),
+					obs.Int("rows_scanned", d.RowsScanned),
+					obs.Int("queries", d.Queries),
+					obs.Int("cache_hits", d.CacheHits))
+				if e := lastEnd[s].Load(); e != 0 {
+					shardSpans[s].EndAt(time.Unix(0, e))
+				} else {
+					shardSpans[s].End()
+				}
+			}
+		}
+		skew := 0.0
+		if minB > 0 {
+			skew = float64(maxB) / float64(minB)
+		}
+		if ssp.Active() {
+			ssp.SetAttrs(obs.Float("skew_ratio", skew))
+			ssp.End()
+		}
+		if so != nil {
+			if skew > 0 {
+				so.skew.Set(skew)
+			}
+			so.straggler.ObserveDuration(time.Duration(maxB))
 		}
 	}
 
@@ -391,10 +498,12 @@ func (sv *ShardedEvaluator) SetObserver(o *obs.Observer) {
 		return
 	}
 	so := &shardedObs{
-		o:        o,
-		partials: o.Counter("acquire_shard_partials_total", "Per-shard partials gathered by the sharded evaluator's §2.6 merge fold."),
-		scatters: o.Counter("acquire_shard_scatters_total", "Evaluator calls scattered to all shards (fact-referencing queries)."),
-		routed:   o.Counter("acquire_shard_routed_total", "Evaluator calls routed whole to shard 0 (no fact-table reference)."),
+		o:         o,
+		partials:  o.Counter("acquire_shard_partials_total", "Per-shard partials gathered by the sharded evaluator's §2.6 merge fold."),
+		scatters:  o.Counter("acquire_shard_scatters_total", "Evaluator calls scattered to all shards (fact-referencing queries)."),
+		routed:    o.Counter("acquire_shard_routed_total", "Evaluator calls routed whole to shard 0 (no fact-table reference)."),
+		skew:      o.Gauge("acquire_shard_skew_ratio", "Slowest/fastest shard busy time of the most recent scatter round (1.0 = perfectly balanced)."),
+		straggler: o.Histogram("acquire_shard_straggler_seconds", "Busy time of the slowest shard per scatter round — the scatter's critical path.", nil),
 	}
 	for i := range sv.engines {
 		so.regions = append(so.regions,

@@ -1,0 +1,196 @@
+package exec
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"acquire/internal/obs"
+	"acquire/internal/relq"
+	"acquire/internal/tpch"
+)
+
+// TestShardedScatterSpans: a context span over AggregateBatch grows a
+// scatter span with one scatter.shard child per shard, and the skew
+// gauge + straggler histogram populate from the same timings.
+func TestShardedScatterSpans(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 600, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	sv, err := NewShardedOn(cat, "users", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sv.SetObserver(obs.NewObserver(reg))
+
+	tr := obs.NewTrace("scatter-test", nil)
+	root := tr.NewSpan(0, "search")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	regions := []relq.Region{
+		{{Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}},
+		{{Lo: -1, Hi: 10}, {Lo: -1, Hi: 10}, {Lo: -1, Hi: 10}},
+	}
+	if _, err := sv.AggregateBatch(ctx, q, regions); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := tr.Snapshot()
+	byID := map[obs.SpanID]obs.TraceSpan{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var scatter obs.TraceSpan
+	var shardSpans []obs.TraceSpan
+	for _, s := range spans {
+		switch s.Name {
+		case "scatter":
+			scatter = s
+		case "scatter.shard":
+			shardSpans = append(shardSpans, s)
+		}
+	}
+	if scatter.ID == 0 || scatter.Parent != root.ID() {
+		t.Fatalf("scatter span = %+v", scatter)
+	}
+	if len(shardSpans) != shards {
+		t.Fatalf("got %d scatter.shard spans, want %d", len(shardSpans), shards)
+	}
+	seen := map[int64]bool{}
+	for _, s := range shardSpans {
+		if s.Parent != scatter.ID {
+			t.Errorf("shard span %d not under scatter", s.ID)
+		}
+		if s.End.IsZero() {
+			t.Errorf("shard span %d never ended", s.ID)
+		}
+		idx, ok := s.Attr("shard")
+		if !ok {
+			t.Errorf("shard span %d missing shard attr", s.ID)
+			continue
+		}
+		seen[idx.I64()] = true
+		if a, ok := s.Attr("regions"); !ok || a.I64() != int64(len(regions)) {
+			t.Errorf("shard %d regions attr = %+v", idx.I64(), a)
+		}
+		if a, ok := s.Attr("partials"); !ok || a.I64() != int64(len(regions)) {
+			t.Errorf("shard %d partials attr = %+v", idx.I64(), a)
+		}
+		if a, ok := s.Attr("busy_ns"); !ok || a.I64() <= 0 {
+			t.Errorf("shard %d busy_ns attr = %+v", idx.I64(), a)
+		}
+	}
+	if len(seen) != shards {
+		t.Errorf("shard indices = %v, want all of 0..%d", seen, shards-1)
+	}
+	if _, ok := scatter.Attr("skew_ratio"); !ok {
+		t.Error("scatter span missing skew_ratio attr")
+	}
+
+	// The same timings feed the skew gauge and straggler histogram.
+	snap := reg.Snapshot()
+	if skew := snap["acquire_shard_skew_ratio"]; skew < 1 {
+		t.Errorf("acquire_shard_skew_ratio = %v, want >= 1", skew)
+	}
+	if c := snap["acquire_shard_straggler_seconds_count"]; c != 1 {
+		t.Errorf("acquire_shard_straggler_seconds_count = %v, want 1", c)
+	}
+}
+
+// TestShardedSkewGaugeWithoutTrace: the skew gauge must populate from
+// an observer alone — plain -json metric runs carry no context span.
+func TestShardedSkewGaugeWithoutTrace(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 600, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewShardedOn(cat, "users", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sv.SetObserver(obs.NewObserver(reg))
+
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	regions := []relq.Region{{{Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}}}
+	if _, err := sv.AggregateBatch(context.Background(), q, regions); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if skew := snap["acquire_shard_skew_ratio"]; skew < 1 {
+		t.Errorf("acquire_shard_skew_ratio = %v, want >= 1 without a trace", skew)
+	}
+	if c := snap["acquire_shard_straggler_seconds_count"]; c != 1 {
+		t.Errorf("straggler count = %v, want 1", c)
+	}
+}
+
+// TestShardedNoTimingWithoutObserverOrTrace: with neither attached the
+// scatter path must not record spans anywhere (nothing to attach them
+// to) — this is the zero-overhead configuration.
+func TestShardedNoTimingWithoutObserverOrTrace(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewShardedOn(cat, "users", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	regions := []relq.Region{{{Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}}}
+	if _, err := sv.AggregateBatch(context.Background(), q, regions); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedScatterSpanContainment: shard spans are timed with real
+// wall-clock dispatch/finish stamps and must sit inside the scatter
+// interval, with the scatter span's end no earlier than the last
+// shard's.
+func TestShardedScatterSpanContainment(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 600, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewShardedOn(cat, "users", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("contain", nil)
+	root := tr.NewSpan(0, "search")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	regions := []relq.Region{{{Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}, {Lo: -1, Hi: 40}}}
+	if _, err := sv.AggregateBatch(ctx, q, regions); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	var scatter obs.TraceSpan
+	var last time.Time
+	for _, s := range tr.Snapshot() {
+		if s.Name == "scatter" {
+			scatter = s
+		}
+		if s.Name == "scatter.shard" && s.End.After(last) {
+			last = s.End
+		}
+	}
+	for _, s := range tr.Snapshot() {
+		if s.Name != "scatter.shard" {
+			continue
+		}
+		if s.Start.Before(scatter.Start) {
+			t.Errorf("shard span starts before scatter dispatch")
+		}
+	}
+	if scatter.End.Before(last) {
+		t.Errorf("scatter ends %v before last shard end %v", scatter.End, last)
+	}
+}

@@ -2,7 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"acquire/internal/obs"
 )
 
 // FormatFigure renders a figure as an aligned text table, one row per
@@ -73,6 +76,51 @@ func formatVal(v float64) string {
 	default:
 		return fmt.Sprintf("%.4f", v)
 	}
+}
+
+// LatencySummary renders every duration histogram of the registry —
+// the per-phase and per-query spans an instrumented run accumulates —
+// as a quantile table (count, p50, p95, p99, in milliseconds, by
+// bucket interpolation). Returns "" when the registry is nil or holds
+// no observations, so callers can print it unconditionally.
+func LatencySummary(reg *obs.Registry) string {
+	if reg == nil {
+		return ""
+	}
+	type row struct {
+		name             string
+		count            int64
+		p50, p95, p99 float64
+	}
+	var rows []row
+	reg.VisitHistograms(func(name string, h *obs.Histogram) {
+		if h.Count() == 0 {
+			return
+		}
+		rows = append(rows, row{
+			name: name, count: h.Count(),
+			p50: h.Quantile(0.50) * 1e3,
+			p95: h.Quantile(0.95) * 1e3,
+			p99: h.Quantile(0.99) * 1e3,
+		})
+	})
+	if len(rows) == 0 {
+		return ""
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	w := len("series")
+	for _, r := range rows {
+		if len(r.name) > w {
+			w = len(r.name)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Latency quantiles (bucket-interpolated, ms)\n")
+	fmt.Fprintf(&b, "%-*s  %8s  %9s  %9s  %9s\n", w, "series", "count", "p50", "p95", "p99")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %8d  %9.3f  %9.3f  %9.3f\n", w, r.name, r.count, r.p50, r.p95, r.p99)
+	}
+	return b.String()
 }
 
 // Table1 renders the related-work capability matrix of the paper's

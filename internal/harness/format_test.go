@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"acquire/internal/obs"
+)
+
+// TestLatencySummary pins the quantile table: one sorted row per
+// non-empty histogram series, milliseconds, empty registries render
+// nothing.
+func TestLatencySummary(t *testing.T) {
+	if got := LatencySummary(nil); got != "" {
+		t.Errorf("nil registry rendered %q", got)
+	}
+	reg := obs.NewRegistry()
+	if got := LatencySummary(reg); got != "" {
+		t.Errorf("empty registry rendered %q", got)
+	}
+	reg.Histogram(`acquire_phase_duration_seconds{phase="idle"}`, "", nil) // stays empty
+	search := reg.Histogram(`acquire_phase_duration_seconds{phase="search"}`, "", nil)
+	fold := reg.Histogram(`acquire_phase_duration_seconds{phase="fold"}`, "", nil)
+	for i := 0; i < 10; i++ {
+		search.Observe(0.02)
+		fold.Observe(0.002)
+	}
+	out := LatencySummary(reg)
+	if !strings.Contains(out, "p50") || !strings.Contains(out, "p99") {
+		t.Fatalf("missing quantile headers:\n%s", out)
+	}
+	if strings.Contains(out, "idle") {
+		t.Errorf("empty series rendered:\n%s", out)
+	}
+	foldAt := strings.Index(out, `phase="fold"`)
+	searchAt := strings.Index(out, `phase="search"`)
+	if foldAt < 0 || searchAt < 0 || foldAt > searchAt {
+		t.Errorf("rows missing or unsorted:\n%s", out)
+	}
+	// 20ms observations in seconds-bucketed histograms render as
+	// interpolated milliseconds — the search row must exceed the fold row.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, two rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}

@@ -21,6 +21,7 @@ type Observer struct {
 	logger   *slog.Logger
 	phases   *PhaseTimes
 	searchID string
+	recorder *FlightRecorder
 
 	// phaseHists caches phase-name -> duration histogram so Span.End
 	// avoids the registry's name formatting and map lookup.
@@ -52,6 +53,33 @@ func (o *Observer) WithLogger(l *slog.Logger) *Observer {
 	d := *o
 	d.logger = l
 	return &d
+}
+
+// WithRecorder returns a derived observer whose searches build span
+// trees and deposit them into rec on completion — the switch that
+// turns hierarchical tracing on. Nil rec detaches (tracing off).
+func (o *Observer) WithRecorder(rec *FlightRecorder) *Observer {
+	if o == nil {
+		return nil
+	}
+	d := *o
+	d.recorder = rec
+	return &d
+}
+
+// Recorder returns the attached flight recorder (nil-safe; nil means
+// tracing is off).
+func (o *Observer) Recorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.recorder
+}
+
+// TracingEnabled reports whether searches under this observer should
+// record span trees.
+func (o *Observer) TracingEnabled() bool {
+	return o != nil && o.recorder != nil
 }
 
 // ForSearch returns a derived observer scoped to one refinement

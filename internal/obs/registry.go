@@ -139,6 +139,27 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
+// VisitHistograms calls fn for every registered histogram in
+// first-registration order (series name includes inline labels).
+// Harness summaries use it to render per-phase latency quantiles.
+func (r *Registry) VisitHistograms(fn func(name string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	ms := make([]metric, len(names))
+	for i, n := range names {
+		ms[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		if h, ok := ms[i].(*Histogram); ok {
+			fn(n, h)
+		}
+	}
+}
+
 // WritePrometheus renders the registry in the Prometheus text
 // exposition format (version 0.0.4), one HELP/TYPE header per family
 // in first-registration order.
@@ -352,11 +373,73 @@ func (h *Histogram) expo(w io.Writer, family, labels string) {
 	fmt.Fprintf(w, "%s_count%s %d\n", family+"", braced(labels), h.count.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation within the bucket holding the target rank — the
+// standard Prometheus histogram_quantile estimate. The first bucket
+// interpolates from 0, and ranks landing in the +Inf bucket clamp to
+// the highest finite bound. Returns NaN when the histogram is empty
+// (or nil).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	cum := float64(0)
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: no upper bound to interpolate toward.
+				if len(h.bounds) == 0 {
+					return math.NaN()
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 func (h *Histogram) value(name string, out map[string]float64) {
 	fam, labels := splitName(name)
 	suffix := braced(labels)
 	out[fam+"_sum"+suffix] = h.Sum()
 	out[fam+"_count"+suffix] = float64(h.count.Load())
+	// Bucket-interpolated latency quantiles ride along under _p50/_p95/
+	// _p99 keys — but only for non-empty histograms, so snapshot maps
+	// stay json.Marshal-able (NaN is not a JSON number).
+	if h.count.Load() > 0 {
+		out[fam+"_p50"+suffix] = h.Quantile(0.50)
+		out[fam+"_p95"+suffix] = h.Quantile(0.95)
+		out[fam+"_p99"+suffix] = h.Quantile(0.99)
+	}
 }
 
 func braced(labels string) string {
