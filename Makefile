@@ -21,16 +21,18 @@ bench:
 	$(GO) test -run xxx -bench=. -benchmem .
 
 # Machine-readable baselines: the fig. 8 ratio sweep, the cached
-# repeated-workload study and the shard sweep — figures, config and the
-# metric registry snapshot in one JSON file each. The committed
-# BENCH_baseline.json, BENCH_cache.json and BENCH_shards.json are the
-# reference artifacts; regenerate after a perf-relevant change and
-# compare before committing.
+# repeated-workload study, the shard sweep and the scan-path study —
+# figures, config and the metric registry snapshot in one JSON file
+# each. The committed BENCH_baseline.json, BENCH_cache.json,
+# BENCH_shards.json and BENCH_scan.json are the reference artifacts;
+# regenerate after a perf-relevant change and compare before
+# committing.
 bench-json:
 	$(GO) run ./cmd/acqbench -experiment fig8 -rows 20000 -json BENCH_baseline.json
 	$(GO) test -run xxx -bench BenchmarkRepeatedWorkload -benchtime 1x .
 	$(GO) run ./cmd/acqbench -experiment repeated -cache -rows 20000 -json BENCH_cache.json
 	$(GO) run ./cmd/acqbench -experiment shards -rows 100000 -json BENCH_shards.json
+	$(GO) run ./cmd/acqbench -experiment scan -rows 20000 -json BENCH_scan.json
 
 # Metrics-overhead guard: the exploration sweep bare vs with a live
 # registry/observer attached. The two ns/op columns should be within

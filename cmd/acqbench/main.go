@@ -74,6 +74,9 @@ var experiments = []experiment{
 	{"shards", "sharded evaluation stack sweep: scatter-gather AggregateBatch vs the monolithic engine (fig. 8 workload)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
 		return harness.ShardSweep(ctx, c)
 	}},
+	{"scan", "vectorized scan path study: legacy vs block-vectorized on the clustered fig. 8 and tpch join workloads (see -cluster)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.ScanPathStudy(ctx, c)
+	}},
 }
 
 func main() {
@@ -106,6 +109,7 @@ func run(ctx context.Context, args []string) error {
 		gridAgg = fs.Bool("gridagg", false, "build aggregate-augmented grids: answer eligible cell queries from stored per-cell partials")
 		cache   = fs.Bool("cache", false, "attach a cross-search partial-aggregate cache to every engine")
 		shards  = fs.Int("shards", 1, "run harness engines as a ShardedEvaluator over N range-partitioned shards")
+		cluster = fs.String("cluster", "", "re-sort generated tables by this numeric column before building engines (engages the vectorized path's zone maps)")
 		cacheMB = fs.Int("cache-mb", 64, "region cache capacity in MiB (with -cache)")
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/traces on this address while experiments run")
 		logJSON = fs.Bool("log-json", false, "emit structured search/engine events as JSON on stderr")
@@ -120,7 +124,7 @@ func run(ctx context.Context, args []string) error {
 	cfg := harness.Config{
 		Rows: *rows, Seed: *seed, Delta: *delta, Gamma: *gamma,
 		TQGenGridK: *gridK, TQGenRounds: *rounds, GridAgg: *gridAgg,
-		Shards: *shards,
+		Shards: *shards, Cluster: *cluster,
 	}
 	if *cache {
 		cfg.CacheMB = *cacheMB

@@ -283,6 +283,7 @@ func runSearch(ctx context.Context, q *relq.Query, sp *space, fr frontier, x *ex
 		if hasEngStats {
 			engDelta = engStats.Snapshot().Sub(engBefore)
 			attrs = append(attrs, "rows_scanned", engDelta.RowsScanned,
+				"blocks_scanned", engDelta.BlocksScanned, "blocks_skipped", engDelta.BlocksSkipped,
 				"cells_skipped", engDelta.CellsSkipped, "cells_merged", engDelta.CellsMerged,
 				"boundary_rows", engDelta.BoundaryRows,
 				"cache_hits", engDelta.CacheHits, "cache_misses", engDelta.CacheMisses)

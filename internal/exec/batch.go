@@ -55,6 +55,8 @@ func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []re
 		defer func() {
 			d := e.Snapshot().Sub(before)
 			bsp.SetAttrs(obs.Int("rows_scanned", d.RowsScanned),
+				obs.Int("blocks_scanned", d.BlocksScanned),
+				obs.Int("blocks_skipped", d.BlocksSkipped),
 				obs.Int("cells_merged", d.CellsMerged),
 				obs.Int("cells_skipped", d.CellsSkipped),
 				obs.Int("cache_hits", d.CacheHits),

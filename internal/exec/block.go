@@ -1,0 +1,251 @@
+package exec
+
+import (
+	"math"
+	"strings"
+
+	"acquire/internal/data"
+	"acquire/internal/relq"
+)
+
+// blockRows is the unit of vectorized execution: scans, gather-filters
+// and the finalize fold all process rows in fixed blocks of this many
+// entries, compacting a reusable selection vector per predicate instead
+// of running one branchy multi-predicate loop per row. 1024 int32 row
+// ids (4 KiB) plus one float64 column block (8 KiB) stay comfortably
+// inside L1.
+const blockRows = 1024
+
+// zoneMap holds per-block min/max summaries of one column, aligned to
+// blockRows-row blocks: block bi covers rows [bi*blockRows,
+// (bi+1)*blockRows). A block whose [min, max] provably cannot satisfy a
+// range predicate is skipped without touching any row. nan flags blocks
+// containing at least one NaN: the scan path keeps NaN rows for fixed
+// ranges (`v < lo || v > hi` is false for NaN) and for select
+// dimensions (Violation(NaN) > hi is false), so a NaN-bearing block is
+// never skippable.
+//
+// All-NaN blocks get {min:+Inf, max:-Inf}; the nan flag already makes
+// them unskippable, and the degenerate interval keeps comparisons safe.
+type zoneMap struct {
+	mins []float64
+	maxs []float64
+	nan  []bool
+}
+
+// numBlocks returns the number of blockRows-sized blocks covering n rows.
+func numBlocks(n int) int {
+	return (n + blockRows - 1) / blockRows
+}
+
+// buildZoneMap summarizes a column vector into per-block min/max/NaN.
+func buildZoneMap(vec []float64) *zoneMap {
+	nb := numBlocks(len(vec))
+	zm := &zoneMap{
+		mins: make([]float64, nb),
+		maxs: make([]float64, nb),
+		nan:  make([]bool, nb),
+	}
+	for bi := 0; bi < nb; bi++ {
+		lo := bi * blockRows
+		hi := min(lo+blockRows, len(vec))
+		mn, mx, hasNaN := math.Inf(1), math.Inf(-1), false
+		for _, v := range vec[lo:hi] {
+			if v != v {
+				hasNaN = true
+				continue
+			}
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		zm.mins[bi], zm.maxs[bi], zm.nan[bi] = mn, mx, hasNaN
+	}
+	return zm
+}
+
+// zoneMapFor returns the cached zone map for a column, building it on
+// first use. Zone maps live alongside the column and sorted-index
+// caches under the same cacheGen generation scheme: a table that has
+// grown since the map was built rebuilds it, and InvalidateTable drops
+// it with the rest of the table's derived state. vec must be the
+// column's current vector (as resolved through numericColumn), so the
+// build never re-fetches.
+func (e *Engine) zoneMapFor(t *data.Table, ord int, vec []float64) *zoneMap {
+	key := colKey{table: strings.ToLower(t.Name()), ord: ord}
+	e.mu.RLock()
+	zm, ok := e.zones[key]
+	gen := e.cacheGen[key.table]
+	e.mu.RUnlock()
+	if ok && gen == t.NumRows() && len(zm.mins) == numBlocks(len(vec)) {
+		return zm
+	}
+	zm = buildZoneMap(vec)
+	e.mu.Lock()
+	e.zones[key] = zm
+	e.mu.Unlock()
+	return zm
+}
+
+// zonePred is one block-skip test: skip a block when its zone interval
+// provably misses [lo, hi] and the block holds no NaN (NaN rows pass
+// the scan predicates this prunes for, so they pin their block).
+type zonePred struct {
+	zm     *zoneMap
+	lo, hi float64
+}
+
+// skip reports whether block bi can be skipped outright.
+func (zp *zonePred) skip(bi int) bool {
+	return !zp.zm.nan[bi] && (zp.zm.maxs[bi] < zp.lo || zp.zm.mins[bi] > zp.hi)
+}
+
+// blockSkippable reports whether any zone predicate proves block bi
+// empty of candidates.
+func blockSkippable(zps []zonePred, bi int) bool {
+	for i := range zps {
+		if zps[i].skip(bi) {
+			return true
+		}
+	}
+	return false
+}
+
+// prunePad widens a finite pruning endpoint by a relative epsilon so
+// float rounding between the violation arithmetic ((v-Bound)*(100/W))
+// and the inverse bound arithmetic (Bound + hi*(W/100)) can only widen
+// the admitted interval, never skip a block holding a qualifying row.
+// Mirrors the box-aggregate kernel's padding discipline.
+func prunePad(lo, hi float64) (float64, float64) {
+	pad := 1e-9
+	if !math.IsInf(lo, -1) {
+		pad += 1e-9 * math.Abs(lo)
+	}
+	if !math.IsInf(hi, 1) {
+		pad += 1e-9 * math.Abs(hi)
+	}
+	if !math.IsInf(lo, -1) {
+		lo -= pad
+	}
+	if !math.IsInf(hi, 1) {
+		hi += pad
+	}
+	return lo, hi
+}
+
+// pruneInterval returns the conservative value interval a select
+// dimension admits under a region upper bound hi — the one-sided hull
+// the scan's verify step actually enforces. The scan only rejects rows
+// with Violation(v) > hi (the region's lower bound is checked later, in
+// finalize), so pruning must not use the Lo side: for SelectLE every
+// v <= BoundAt(hi) passes the scan, however negative its violation
+// slack.
+func pruneInterval(d *relq.Dimension, hi float64) (float64, float64) {
+	switch d.Kind {
+	case relq.SelectLE:
+		return prunePad(math.Inf(-1), d.BoundAt(hi))
+	case relq.SelectGE:
+		return prunePad(d.BoundAt(hi), math.Inf(1))
+	case relq.SelectEQ:
+		band := d.BoundAt(hi)
+		return prunePad(d.Bound-band, d.Bound+band)
+	default:
+		return math.Inf(-1), math.Inf(1)
+	}
+}
+
+// The filter primitives below compact a selection vector in place:
+// every surviving row id is written forward, so one pass applies one
+// predicate to a whole block with no branch in the store path. The
+// keep conditions are the exact negations of the row-at-a-time scan's
+// reject conditions — including their NaN behavior — so a filter chain
+// keeps precisely the rows the legacy verify loop keeps, in the same
+// order.
+
+// filterRange keeps rows with lo <= vec[r] <= hi, NaN included (the
+// scan's reject test `v < lo || v > hi` is false for NaN).
+func filterRange(sel []int32, vec []float64, lo, hi float64) []int32 {
+	k := 0
+	for _, r := range sel {
+		v := vec[r]
+		sel[k] = r
+		if !(v < lo || v > hi) {
+			k++
+		}
+	}
+	return sel[:k]
+}
+
+// filterStringIn keeps rows whose string value is in the set.
+func filterStringIn(sel []int32, vec []string, set map[string]struct{}) []int32 {
+	k := 0
+	for _, r := range sel {
+		sel[k] = r
+		if _, ok := set[vec[r]]; ok {
+			k++
+		}
+	}
+	return sel[:k]
+}
+
+// filterViolation keeps rows with Violation(vec[r]) <= hi (NaN values
+// pass: their violation is NaN and NaN > hi is false, matching the
+// row-at-a-time check). The per-kind loops inline the exact float
+// expressions of relq.Dimension.Violation — same operations, same
+// order — so results are bit-identical to calling it per row.
+func filterViolation(sel []int32, d *relq.Dimension, vec []float64, hi float64) []int32 {
+	k := 0
+	switch d.Kind {
+	case relq.SelectLE:
+		bound, scale := d.Bound, 100/d.Width
+		for _, r := range sel {
+			v := vec[r]
+			sel[k] = r
+			if !(v > bound && (v-bound)*scale > hi) {
+				k++
+			}
+		}
+	case relq.SelectGE:
+		bound, scale := d.Bound, 100/d.Width
+		for _, r := range sel {
+			v := vec[r]
+			sel[k] = r
+			if !(v < bound && (bound-v)*scale > hi) {
+				k++
+			}
+		}
+	case relq.SelectEQ:
+		bound, scale := d.Bound, 100/d.Width
+		for _, r := range sel {
+			sel[k] = r
+			if !(math.Abs(vec[r]-bound)*scale > hi) {
+				k++
+			}
+		}
+	default:
+		for _, r := range sel {
+			sel[k] = r
+			if !(d.Violation(vec[r]) > hi) {
+				k++
+			}
+		}
+	}
+	return sel[:k]
+}
+
+// filterSemi keeps rows whose scaled join key appears in the probe key
+// set — the scan-level semi-join pushdown. NaN keys are dropped: a NaN
+// key can never match any probe key in the hash join either.
+func filterSemi(sel []int32, vec []float64, coef float64, set *f64Set) []int32 {
+	k := 0
+	for _, r := range sel {
+		sel[k] = r
+		if set.contains(coef * vec[r]) {
+			k++
+		}
+	}
+	return sel[:k]
+}

@@ -174,18 +174,22 @@ func (e *Engine) boxAggregate(b *binding, region relq.Region, eo *engineObs) (ag
 			} else {
 				rows := g.PostingList(cell)
 				boundaryRows += int64(len(rows))
-				for _, r := range rows {
-					for i := range cons {
-						viol[cons[i].di] = cons[i].dim.Violation(cons[i].vec[r])
+				if !e.legacyScan.Load() && len(cons) == len(b.q.Dims) {
+					boundaryCellVec(b, cons, rows, &out)
+				} else {
+					for _, r := range rows {
+						for i := range cons {
+							viol[cons[i].di] = cons[i].dim.Violation(cons[i].vec[r])
+						}
+						if !region.Contains(viol) {
+							continue
+						}
+						v := 1.0
+						if b.aggTbl >= 0 {
+							v = b.aggVec[r]
+						}
+						b.spec.StepValue(&out, v)
 					}
-					if !region.Contains(viol) {
-						continue
-					}
-					v := 1.0
-					if b.aggTbl >= 0 {
-						v = b.aggVec[r]
-					}
-					b.spec.StepValue(&out, v)
 				}
 			}
 		}
@@ -211,4 +215,44 @@ func (e *Engine) boxAggregate(b *binding, region relq.Region, eo *engineObs) (ag
 			"cells_merged", cellsMerged, "boundary_rows", boundaryRows)
 	}
 	return out, true, nil
+}
+
+// boundaryCellVec folds one boundary cell's posting list block-style:
+// the selection vector is compacted one constraint at a time (keeping
+// rows with Violation in (iv.Lo, iv.Hi] — exactly the per-dimension
+// test region.Contains performs, and cons covers every query dimension
+// for eligible queries), and survivors step the aggregate in
+// posting-list order — the same StepValue sequence as the legacy
+// per-row loop.
+func boundaryCellVec(b *binding, cons []boxConstraint, rows []int32, out *agg.Partial) {
+	var buf [blockRows]int32
+	for blo := 0; blo < len(rows); blo += blockRows {
+		bhi := min(blo+blockRows, len(rows))
+		sel := buf[:bhi-blo]
+		copy(sel, rows[blo:bhi])
+		for i := range cons {
+			if len(sel) == 0 {
+				break
+			}
+			c := &cons[i]
+			k := 0
+			for _, r := range sel {
+				v := c.dim.Violation(c.vec[r])
+				sel[k] = r
+				if v > c.iv.Lo && v <= c.iv.Hi {
+					k++
+				}
+			}
+			sel = sel[:k]
+		}
+		if b.aggTbl >= 0 {
+			for _, r := range sel {
+				b.spec.StepValue(out, b.aggVec[r])
+			}
+		} else {
+			for range sel {
+				b.spec.StepValue(out, 1.0)
+			}
+		}
+	}
 }

@@ -70,6 +70,11 @@ func (e *Engine) InvalidateTable(table string) {
 			delete(e.sortIdx, k)
 		}
 	}
+	for k := range e.zones {
+		if k.table == key {
+			delete(e.zones, k)
+		}
+	}
 	delete(e.grids, key)
 	e.mu.Unlock()
 	e.InvalidateRegionCache()

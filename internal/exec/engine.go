@@ -34,8 +34,16 @@ type Stats struct {
 	// Queries is the number of query executions (cell queries and whole
 	// queries alike — each is one round trip to the evaluation layer).
 	Queries int64
-	// RowsScanned counts base-table rows touched by scans.
+	// RowsScanned counts base-table rows touched by scans. Rows in
+	// zone-map-skipped blocks are never touched and are not counted
+	// (see BlocksSkipped).
 	RowsScanned int64
+	// BlocksScanned counts column blocks visited by the vectorized scan
+	// path (full scans only; index-driven scans count rows, not blocks).
+	BlocksScanned int64
+	// BlocksSkipped counts column blocks proven candidate-free by zone
+	// maps and skipped without touching any row.
+	BlocksSkipped int64
 	// TuplesExamined counts join tuples tested against regions.
 	TuplesExamined int64
 	// CellsSkipped counts queries answered empty by the grid index
@@ -66,6 +74,8 @@ func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
 		Queries:        s.Queries - prev.Queries,
 		RowsScanned:    s.RowsScanned - prev.RowsScanned,
+		BlocksScanned:  s.BlocksScanned - prev.BlocksScanned,
+		BlocksSkipped:  s.BlocksSkipped - prev.BlocksSkipped,
 		TuplesExamined: s.TuplesExamined - prev.TuplesExamined,
 		CellsSkipped:   s.CellsSkipped - prev.CellsSkipped,
 		CellsMerged:    s.CellsMerged - prev.CellsMerged,
@@ -83,6 +93,8 @@ func (s Stats) Sub(prev Stats) Stats {
 type statsCells struct {
 	queries        atomic.Int64
 	rowsScanned    atomic.Int64
+	blocksScanned  atomic.Int64
+	blocksSkipped  atomic.Int64
 	tuplesExamined atomic.Int64
 	cellsSkipped   atomic.Int64
 	cellsMerged    atomic.Int64
@@ -96,17 +108,20 @@ type statsCells struct {
 // attached observer, so the hot path pays one nil check and direct
 // atomic increments — no registry lookups per query.
 type engineObs struct {
-	o           *obs.Observer
-	queries     *obs.Counter
-	rows        *obs.Counter
-	tuples      *obs.Counter
-	cells       *obs.Counter
-	cellsMerged *obs.Counter
-	boundary    *obs.Counter
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
-	cacheEvict  *obs.Counter
-	queryDur    *obs.Histogram
+	o             *obs.Observer
+	queries       *obs.Counter
+	rows          *obs.Counter
+	blocksScanned *obs.Counter
+	blocksSkipped *obs.Counter
+	tuples        *obs.Counter
+	cells         *obs.Counter
+	cellsMerged   *obs.Counter
+	boundary      *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	cacheEvict    *obs.Counter
+	queryDur      *obs.Histogram
+	selDensity    *obs.Histogram
 }
 
 // Engine executes relq queries against a catalog.
@@ -118,6 +133,12 @@ type Engine struct {
 	cacheGen map[string]int // table -> row count at cache time
 	grids    map[string]*index.Grid
 	sortIdx  map[colKey]*sortedIdx
+	zones    map[colKey]*zoneMap
+
+	// legacyScan switches the row-at-a-time scan/join/finalize path
+	// back on (the vectorized block path is the default); it exists as
+	// the equivalence oracle for the block path and as an escape hatch.
+	legacyScan atomic.Bool
 
 	// MaxIntermediate bounds intermediate join sizes (tuples).
 	MaxIntermediate int
@@ -147,6 +168,7 @@ func New(cat *data.Catalog) *Engine {
 		cacheGen:        make(map[string]int),
 		grids:           make(map[string]*index.Grid),
 		sortIdx:         make(map[colKey]*sortedIdx),
+		zones:           make(map[colKey]*zoneMap),
 		MaxIntermediate: DefaultMaxIntermediate,
 	}
 	e.stats.Store(&statsCells{})
@@ -155,6 +177,16 @@ func New(cat *data.Catalog) *Engine {
 
 // Catalog exposes the underlying catalog (read-only use).
 func (e *Engine) Catalog() *data.Catalog { return e.cat }
+
+// SetLegacyScan switches between the block-vectorized execution path
+// (false, the default) and the row-at-a-time legacy path (true). Both
+// produce bit-identical results — the legacy path is kept as the
+// equivalence oracle of the property tests and as an operational
+// escape hatch.
+func (e *Engine) SetLegacyScan(on bool) { e.legacyScan.Store(on) }
+
+// LegacyScan reports whether the legacy scan path is active.
+func (e *Engine) LegacyScan() bool { return e.legacyScan.Load() }
 
 // SetObserver attaches an observer: engine counters are mirrored into
 // its registry (acquire_engine_* series, registered eagerly so they
@@ -168,17 +200,22 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 		return
 	}
 	e.obsState.Store(&engineObs{
-		o:           o,
-		queries:     o.Counter("acquire_engine_queries_total", "Evaluation-layer query executions (cell and whole queries)."),
-		rows:        o.Counter("acquire_engine_rows_scanned_total", "Base-table rows touched by scans."),
-		tuples:      o.Counter("acquire_engine_tuples_examined_total", "Join tuples tested against regions."),
-		cells:       o.Counter("acquire_engine_cells_skipped_total", "Queries answered empty by the grid index without scanning (§7.4)."),
-		cellsMerged: o.Counter("acquire_engine_cells_merged_total", "Grid cells answered by merging stored per-cell partials (box-aggregate kernel interior cells)."),
-		boundary:    o.Counter("acquire_engine_boundary_rows_total", "Rows scanned from boundary-cell posting lists by the box-aggregate kernel."),
-		cacheHits:   o.Counter("acquire_cache_hits_total", "Region executions answered from the cross-search partial-aggregate cache."),
-		cacheMisses: o.Counter("acquire_cache_misses_total", "Region executions that missed the cross-search partial-aggregate cache and executed."),
-		cacheEvict:  o.Counter("acquire_cache_evictions_total", "Entries displaced from the cross-search partial-aggregate cache by the byte cap."),
-		queryDur:    o.Histogram(`acquire_phase_duration_seconds{phase="evaluate"}`, "Duration of search/engine phases by phase name.", nil),
+		o:             o,
+		queries:       o.Counter("acquire_engine_queries_total", "Evaluation-layer query executions (cell and whole queries)."),
+		rows:          o.Counter("acquire_engine_rows_scanned_total", "Base-table rows touched by scans."),
+		blocksScanned: o.Counter("acquire_engine_blocks_scanned_total", "Column blocks visited by the vectorized full-scan path."),
+		blocksSkipped: o.Counter("acquire_engine_blocks_skipped_total", "Column blocks proven candidate-free by zone maps and skipped without touching rows."),
+		tuples:        o.Counter("acquire_engine_tuples_examined_total", "Join tuples tested against regions."),
+		cells:         o.Counter("acquire_engine_cells_skipped_total", "Queries answered empty by the grid index without scanning (§7.4)."),
+		cellsMerged:   o.Counter("acquire_engine_cells_merged_total", "Grid cells answered by merging stored per-cell partials (box-aggregate kernel interior cells)."),
+		boundary:      o.Counter("acquire_engine_boundary_rows_total", "Rows scanned from boundary-cell posting lists by the box-aggregate kernel."),
+		cacheHits:     o.Counter("acquire_cache_hits_total", "Region executions answered from the cross-search partial-aggregate cache."),
+		cacheMisses:   o.Counter("acquire_cache_misses_total", "Region executions that missed the cross-search partial-aggregate cache and executed."),
+		cacheEvict:    o.Counter("acquire_cache_evictions_total", "Entries displaced from the cross-search partial-aggregate cache by the byte cap."),
+		queryDur:      o.Histogram(`acquire_phase_duration_seconds{phase="evaluate"}`, "Duration of search/engine phases by phase name.", nil),
+		selDensity: o.Histogram("acquire_engine_selection_density",
+			"Post-filter selection-vector density per scanned block (kept rows / block rows).",
+			[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1}),
 	})
 }
 
@@ -200,6 +237,8 @@ func (e *Engine) Snapshot() Stats {
 	return Stats{
 		Queries:        c.queries.Load(),
 		RowsScanned:    c.rowsScanned.Load(),
+		BlocksScanned:  c.blocksScanned.Load(),
+		BlocksSkipped:  c.blocksSkipped.Load(),
 		TuplesExamined: c.tuplesExamined.Load(),
 		CellsSkipped:   c.cellsSkipped.Load(),
 		CellsMerged:    c.cellsMerged.Load(),
@@ -229,6 +268,16 @@ func (e *Engine) countRows(n int64) {
 	e.stats.Load().rowsScanned.Add(n)
 	if eo := e.obsState.Load(); eo != nil {
 		eo.rows.Add(n)
+	}
+}
+
+func (e *Engine) countBlocks(scanned, skipped int64) {
+	c := e.stats.Load()
+	c.blocksScanned.Add(scanned)
+	c.blocksSkipped.Add(skipped)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.blocksScanned.Add(scanned)
+		eo.blocksSkipped.Add(skipped)
 	}
 }
 
@@ -420,10 +469,26 @@ func (e *Engine) aggregateRegion(b *binding, region relq.Region, eo *engineObs) 
 		return p, err
 	}
 
-	// Phase 1: per-table candidate scan.
+	// Phase 1: per-table candidate scan. On the vectorized path a
+	// static attach plan (computable before any scan, since pickNext
+	// never looks at candidates) enables scan-level semi-join
+	// pushdown: a table whose planned attach edge is an equi edge to
+	// an already-scanned table is pre-filtered by that table's key
+	// set, shrinking the join build side before it is ever built.
+	legacy := e.legacyScan.Load()
+	var plan []planEdge
+	if !legacy && len(b.tables) > 1 {
+		plan = e.attachPlan(b)
+	}
 	cands := make([][]int32, len(b.tables))
 	for ti := range b.tables {
-		c, err := e.scanTable(b, region, ti)
+		var c []int32
+		var err error
+		if legacy {
+			c, err = e.scanTableLegacy(b, region, ti)
+		} else {
+			c, err = e.vscanTable(b, region, ti, semiPredFor(b, plan, cands, ti))
+		}
 		if err != nil {
 			return agg.Zero(), err
 		}
@@ -445,77 +510,42 @@ func (e *Engine) aggregateRegion(b *binding, region relq.Region, eo *engineObs) 
 
 // scanTable returns the candidate row indexes of table ti: rows passing
 // every fixed filter on the table and every local select dimension's
-// region upper bound.
+// region upper bound. Dispatches between the block-vectorized default
+// and the row-at-a-time legacy path; both produce the identical
+// candidate list in the identical order.
+func (e *Engine) scanTable(b *binding, region relq.Region, ti int) ([]int32, error) {
+	if e.legacyScan.Load() {
+		return e.scanTableLegacy(b, region, ti)
+	}
+	return e.vscanTable(b, region, ti, nil)
+}
+
+// scanTableLegacy is the row-at-a-time scan.
 //
 // Access path selection mirrors a DBMS with secondary indexes: the most
 // selective applicable range condition (a fixed range or a select
 // dimension's value interval under the region) drives candidate
 // generation through a sorted index; the remaining predicates are
 // verified per candidate. When no condition narrows the table below
-// half its rows, a full scan is used instead.
-func (e *Engine) scanTable(b *binding, region relq.Region, ti int) ([]int32, error) {
+// half its rows, a full scan is used instead. The vectorized path
+// shares this access-path choice (scanDrives/pickIndexDrive) and only
+// changes how the surviving predicates are evaluated.
+func (e *Engine) scanTableLegacy(b *binding, region relq.Region, ti int) ([]int32, error) {
 	t := b.tables[ti]
 	n := t.NumRows()
-
-	type localDim struct {
-		dim *relq.Dimension
-		vec []float64
-		hi  float64
-	}
-	var locals []localDim
-	for _, sd := range b.selDims {
-		if sd.tbl == ti {
-			locals = append(locals, localDim{dim: sd.dim, vec: sd.vec, hi: region[sd.di].Hi})
-		}
-	}
+	locals := localDimsFor(b, region, ti)
 	ranges := b.ranges[ti]
 	strs := b.strFlts[ti]
 
-	// Candidate driving intervals: fixed ranges and single-interval
-	// select-dimension regions.
-	type drive struct {
-		ord    int
-		lo, hi float64
+	drives, empty := scanDrives(b, region, ti)
+	if empty {
+		return nil, nil // some dimension admits nothing
 	}
-	var drives []drive
-	for i := range ranges {
-		if !math.IsInf(ranges[i].lo, -1) || !math.IsInf(ranges[i].hi, 1) {
-			drives = append(drives, drive{ord: ranges[i].ord, lo: ranges[i].lo, hi: ranges[i].hi})
-		}
+	candidates, indexed, err := e.pickIndexDrive(t, n, drives)
+	if err != nil {
+		return nil, err
 	}
-	for _, sd := range b.selDims {
-		if sd.tbl != ti {
-			continue
-		}
-		ivs := valueIntervals(sd.dim, region[sd.di])
-		if len(ivs) == 0 {
-			return nil, nil // dimension admits nothing
-		}
-		if len(ivs) == 1 {
-			drives = append(drives, drive{ord: sd.ord, lo: ivs[0].Lo, hi: ivs[0].Hi})
-		}
-	}
-
-	var candidates []int32
-	fullScan := true
-	if len(drives) > 0 {
-		bestSize := n + 1
-		var best *sortedIdx
-		var bestDrive drive
-		for _, d := range drives {
-			ix, err := e.sortedIndex(t, d.ord)
-			if err != nil {
-				return nil, err
-			}
-			if sz := ix.rangeSize(d.lo, d.hi); sz < bestSize {
-				bestSize, best, bestDrive = sz, ix, d
-			}
-		}
-		if best != nil && bestSize <= n/2 {
-			candidates = best.rangeRows(bestDrive.lo, bestDrive.hi)
-			fullScan = false
-		}
-	}
+	fullScan := !indexed
 	scanned := int64(n)
 	if !fullScan {
 		scanned = int64(len(candidates))
@@ -740,8 +770,20 @@ func (e *Engine) pickNext(b *binding, attached map[int]int) (int, *joinEdge) {
 	return -1, nil
 }
 
-// attach joins the tuples with table `next` via the edge.
+// attach joins the tuples with table `next` via the edge, dispatching
+// between the pre-sized vectorized attach and the incremental legacy
+// one. Both emit the identical tuple stream (same tuples, same order,
+// same overflow error).
 func (e *Engine) attach(b *binding, region relq.Region, tuples []int32, order []int, attached map[int]int, cands [][]int32, next int, edge *joinEdge) ([]int32, error) {
+	if e.legacyScan.Load() {
+		return e.attachLegacy(b, region, tuples, order, attached, cands, next, edge)
+	}
+	return e.attachVec(b, region, tuples, order, attached, cands, next, edge)
+}
+
+// attachLegacy is the row-at-a-time attach with incrementally grown
+// output and hash table.
+func (e *Engine) attachLegacy(b *binding, region relq.Region, tuples []int32, order []int, attached map[int]int, cands [][]int32, next int, edge *joinEdge) ([]int32, error) {
 	stride := len(order)
 	ntup := len(tuples) / max(stride, 1)
 	nextCands := cands[next]
@@ -842,8 +884,21 @@ func (e *Engine) attach(b *binding, region relq.Region, tuples []int32, order []
 }
 
 // finalize verifies every join condition and the region on each tuple,
-// folding qualifying tuples into the aggregate.
+// folding qualifying tuples into the aggregate. Dispatches between the
+// block-compacted vectorized fold and the row-at-a-time legacy one;
+// both step the aggregate over the same tuples in the same order on the
+// same parallelFold chunk grid, so even SUM bits agree. The vectorized
+// fold checks region dimensions individually, which requires every
+// query dimension to be bound (always true today — the guard is belt
+// and braces against future dimension kinds).
 func (e *Engine) finalize(b *binding, region relq.Region, tuples []int32, order []int) (agg.Partial, error) {
+	if e.legacyScan.Load() || len(b.selDims)+len(b.joinDims) != len(b.q.Dims) {
+		return e.finalizeLegacy(b, region, tuples, order)
+	}
+	return e.finalizeVec(b, region, tuples, order)
+}
+
+func (e *Engine) finalizeLegacy(b *binding, region relq.Region, tuples []int32, order []int) (agg.Partial, error) {
 	stride := len(order)
 	if stride == 0 {
 		return agg.Zero(), nil

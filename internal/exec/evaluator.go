@@ -43,6 +43,12 @@ type Evaluator interface {
 	// GOMAXPROCS. Results are identical for every worker count.
 	SetParallelism(workers int)
 
+	// SetLegacyScan(true) switches from the block-vectorized scan path
+	// (the default) to the row-at-a-time legacy path. Both are
+	// bit-identical; the legacy path serves as equivalence oracle and
+	// operational escape hatch.
+	SetLegacyScan(on bool)
+
 	// SetObserver attaches (nil detaches) an observer; Observer returns
 	// the current one (nil-safe for phase timing).
 	SetObserver(o *obs.Observer)

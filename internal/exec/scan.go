@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 
 	"acquire/internal/relq"
 )
@@ -38,8 +39,16 @@ func (e *Engine) ViolationScan(q *relq.Query) ([]RowViolations, error) {
 	}
 	e.countQueries(1)
 	n := b.tables[0].NumRows()
-	e.countRows(int64(n))
+	if e.legacyScan.Load() {
+		e.countRows(int64(n))
+		return e.violationScanLegacy(b, n)
+	}
+	return e.violationScanVec(b, n)
+}
 
+// violationScanLegacy is the row-at-a-time scan with one branchy
+// multi-predicate loop per row.
+func (e *Engine) violationScanLegacy(b *binding, n int) ([]RowViolations, error) {
 	d := len(b.q.Dims)
 	out := make([]RowViolations, 0, n)
 	// One flat backing array for all violation vectors: a 1M-row scan
@@ -72,6 +81,79 @@ rows:
 		}
 		out = append(out, RowViolations{Row: int32(r), Viol: viol, AggValue: v})
 	}
+	return out, nil
+}
+
+// violationScanVec is the block-vectorized scan: fixed ranges and
+// string sets run through the shared selection-vector filter
+// primitives, and blocks a fixed-range zone map proves empty are
+// skipped without touching rows. RowsScanned counts only rows in
+// visited blocks; skipped blocks are reported via BlocksSkipped. The
+// emitted rows, their order and their violation vectors are identical
+// to the legacy scan (filterRange keeps NaN exactly as the legacy
+// reject test does).
+func (e *Engine) violationScanVec(b *binding, n int) ([]RowViolations, error) {
+	t := b.tables[0]
+	ranges := b.ranges[0]
+	strs := b.strFlts[0]
+	var zps []zonePred
+	for i := range ranges {
+		rb := &ranges[i]
+		if math.IsInf(rb.lo, -1) && math.IsInf(rb.hi, 1) {
+			continue
+		}
+		zps = append(zps, zonePred{zm: e.zoneMapFor(t, rb.ord, rb.vec), lo: rb.lo, hi: rb.hi})
+	}
+	eo := e.obsState.Load()
+
+	d := len(b.q.Dims)
+	out := make([]RowViolations, 0, n)
+	backing := make([]float64, 0, n*d)
+	var buf [blockRows]int32
+	nb := numBlocks(n)
+	var rows, scanned, skipped int64
+	for bi := 0; bi < nb; bi++ {
+		lo := bi * blockRows
+		hi := min(lo+blockRows, n)
+		if blockSkippable(zps, bi) {
+			skipped++
+			continue
+		}
+		scanned++
+		rows += int64(hi - lo)
+		sel := buf[:0]
+		for r := lo; r < hi; r++ {
+			sel = append(sel, int32(r))
+		}
+		for i := range ranges {
+			if len(sel) == 0 {
+				break
+			}
+			sel = filterRange(sel, ranges[i].vec, ranges[i].lo, ranges[i].hi)
+		}
+		for i := range strs {
+			if len(sel) == 0 {
+				break
+			}
+			sel = filterStringIn(sel, strs[i].vec, strs[i].set)
+		}
+		observeDensity(eo, len(sel), hi-lo)
+		for _, r := range sel {
+			start := len(backing)
+			backing = backing[:start+d]
+			viol := backing[start : start+d]
+			for _, sd := range b.selDims {
+				viol[sd.di] = sd.dim.Violation(sd.vec[r])
+			}
+			v := 1.0
+			if b.aggTbl >= 0 {
+				v = b.aggVec[r]
+			}
+			out = append(out, RowViolations{Row: r, Viol: viol, AggValue: v})
+		}
+	}
+	e.countRows(rows)
+	e.countBlocks(scanned, skipped)
 	return out, nil
 }
 

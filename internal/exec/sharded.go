@@ -142,6 +142,14 @@ func (sv *ShardedEvaluator) SetParallelism(workers int) {
 	}
 }
 
+// SetLegacyScan switches every shard engine between the vectorized and
+// legacy scan paths.
+func (sv *ShardedEvaluator) SetLegacyScan(on bool) {
+	for _, e := range sv.engines {
+		e.SetLegacyScan(on)
+	}
+}
+
 // Aggregate executes one region by serial scatter-gather (the oracle
 // path: shard engines bypass their region caches exactly as
 // Engine.Aggregate does).
@@ -393,6 +401,8 @@ func (sv *ShardedEvaluator) Snapshot() Stats {
 		s := e.Snapshot()
 		out.Queries += s.Queries
 		out.RowsScanned += s.RowsScanned
+		out.BlocksScanned += s.BlocksScanned
+		out.BlocksSkipped += s.BlocksSkipped
 		out.TuplesExamined += s.TuplesExamined
 		out.CellsSkipped += s.CellsSkipped
 		out.CellsMerged += s.CellsMerged

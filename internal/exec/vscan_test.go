@@ -1,0 +1,612 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"acquire/internal/agg"
+	"acquire/internal/data"
+	"acquire/internal/relq"
+	"acquire/internal/tpch"
+)
+
+// This file holds the vectorized-vs-legacy equivalence property suite:
+// the block scan path must be *bit-identical* to the row-at-a-time
+// path — same Count, same Sum bits, same Min/Max/User bits — across
+// aggregates, joins, fixed predicates, NaN/±Inf columns, tail blocks,
+// shard counts and cache configurations. Tolerance-free comparison is
+// the point: any reassociation, reordering, or row loss in the
+// vectorized path shows up as a bit difference here.
+
+// exactEqual fails unless two partials are bitwise identical.
+func exactEqual(t *testing.T, label string, got, want agg.Partial) {
+	t.Helper()
+	if got.Count != want.Count ||
+		math.Float64bits(got.Sum) != math.Float64bits(want.Sum) ||
+		math.Float64bits(got.Min) != math.Float64bits(want.Min) ||
+		math.Float64bits(got.Max) != math.Float64bits(want.Max) ||
+		math.Float64bits(got.User) != math.Float64bits(want.User) {
+		t.Fatalf("%s: vectorized %+v != legacy %+v", label, got, want)
+	}
+}
+
+// messyCatalog builds a two-table catalog engineered to stress the scan
+// path's edge cases: a NaN/±Inf-bearing aggregate column, ±0 join keys,
+// a string filter column, dangling join keys, and row counts chosen by
+// the caller to produce partial tail blocks.
+//
+//	cust(c_key, c_score)
+//	orders(o_custkey, o_amount [NaN/±Inf/±0], o_qty, o_status)
+func messyCatalog(t testing.TB, nOrders, nCust int, seed int64) *data.Catalog {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cat := data.NewCatalog()
+
+	cust := data.NewTable("cust", data.MustSchema(
+		data.Column{Name: "c_key", Type: data.Int64},
+		data.Column{Name: "c_score", Type: data.Float64},
+	))
+	for i := 0; i < nCust; i++ {
+		if err := cust.AppendRow(data.IntValue(int64(i)), data.FloatValue(rng.Float64()*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	statuses := []string{"OPEN", "SHIPPED", "CLOSED", "HELD"}
+	orders := data.NewTable("orders", data.MustSchema(
+		data.Column{Name: "o_custkey", Type: data.Int64},
+		data.Column{Name: "o_amount", Type: data.Float64},
+		data.Column{Name: "o_qty", Type: data.Float64},
+		data.Column{Name: "o_status", Type: data.String},
+	))
+	for i := 0; i < nOrders; i++ {
+		amount := rng.Float64() * 1000
+		switch r := rng.Float64(); {
+		case r < 0.02:
+			amount = math.NaN()
+		case r < 0.03:
+			amount = math.Inf(1)
+		case r < 0.04:
+			amount = math.Inf(-1)
+		case r < 0.06:
+			amount = math.Copysign(0, rng.Float64()-0.5) // ±0 keys
+		}
+		// ~10% dangling keys exercise join misses.
+		key := int64(rng.Intn(nCust + nCust/10 + 1))
+		if err := orders.AppendRow(
+			data.IntValue(key),
+			data.FloatValue(amount),
+			data.FloatValue(rng.Float64()*50),
+			data.StringValue(statuses[rng.Intn(len(statuses))]),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, tbl := range []*data.Table{cust, orders} {
+		if err := cat.Register(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+// messyAgg picks a random constraint over the messy catalog. The
+// NaN/±Inf column o_amount is deliberately over-represented as the
+// aggregate attribute.
+func messyAgg(rng *rand.Rand) relq.Constraint {
+	c := relq.Constraint{Op: relq.CmpEQ, Target: 1}
+	attr := relq.ColumnRef{Table: "orders", Column: "o_amount"}
+	if rng.Intn(3) == 0 {
+		attr = relq.ColumnRef{Table: "orders", Column: "o_qty"}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		c.Func = relq.AggCount
+	case 1:
+		c.Func, c.Attr = relq.AggSum, attr
+	case 2:
+		c.Func, c.Attr = relq.AggMin, attr
+	case 3:
+		c.Func, c.Attr = relq.AggMax, attr
+	case 4:
+		c.Func, c.Attr = relq.AggAvg, attr
+	default:
+		c.Func, c.Attr, c.UserName = relq.AggUser, attr, "SUMSQ"
+	}
+	return c
+}
+
+// messyQuery generates a random (query, region) pair: single-table
+// selects, equi joins, band joins, fixed ranges (selective enough to
+// trigger the index path about half the time) and string-set filters.
+func messyQuery(rng *rand.Rand) (*relq.Query, relq.Region) {
+	var dims []relq.Dimension
+	var fixed []relq.FixedPred
+	tables := []string{"orders"}
+
+	// 1-2 select dims on orders.
+	orderDims := []relq.Dimension{
+		{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "orders", Column: "o_amount"}, Bound: 400, Width: 1000},
+		{Kind: relq.SelectGE, Col: relq.ColumnRef{Table: "orders", Column: "o_qty"}, Bound: 30, Width: 50},
+		{Kind: relq.SelectEQ, Col: relq.ColumnRef{Table: "orders", Column: "o_qty"}, Bound: 20, Width: 50},
+	}
+	rng.Shuffle(len(orderDims), func(i, j int) { orderDims[i], orderDims[j] = orderDims[j], orderDims[i] })
+	dims = append(dims, orderDims[:1+rng.Intn(2)]...)
+
+	switch rng.Intn(3) {
+	case 1: // equi join to cust + a cust-side dim
+		tables = append(tables, "cust")
+		fixed = append(fixed, relq.FixedPred{
+			Kind:  relq.FixedEquiJoin,
+			Left:  relq.ColumnRef{Table: "orders", Column: "o_custkey"},
+			Right: relq.ColumnRef{Table: "cust", Column: "c_key"},
+		})
+		dims = append(dims, relq.Dimension{
+			Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "cust", Column: "c_score"},
+			Bound: 30, Width: 100,
+		})
+	case 2: // band join on the NaN-bearing column
+		tables = append(tables, "cust")
+		dims = append(dims, relq.Dimension{
+			Kind:  relq.JoinBand,
+			Left:  relq.ColumnRef{Table: "orders", Column: "o_amount"},
+			Right: relq.ColumnRef{Table: "cust", Column: "c_score"},
+			Base:  5, Width: 200,
+		})
+	}
+
+	if rng.Intn(2) == 0 { // fixed range; selective half the time
+		lo, hi := 100.0, 900.0
+		if rng.Intn(2) == 0 {
+			lo, hi = 100.0, 250.0
+		}
+		fixed = append(fixed, relq.FixedPred{
+			Kind: relq.FixedRange,
+			Col:  relq.ColumnRef{Table: "orders", Column: "o_amount"},
+			Lo:   lo, Hi: hi,
+		})
+	}
+	if rng.Intn(3) == 0 {
+		fixed = append(fixed, relq.FixedPred{
+			Kind:   relq.FixedStringIn,
+			Col:    relq.ColumnRef{Table: "orders", Column: "o_status"},
+			Values: []string{"OPEN", "SHIPPED"},
+		})
+	}
+
+	region := make(relq.Region, len(dims))
+	for i := range region {
+		hi := rng.Float64() * 90
+		if rng.Intn(2) == 0 {
+			region[i] = relq.ViolInterval{Lo: -1, Hi: hi}
+		} else {
+			region[i] = relq.ViolInterval{Lo: hi * rng.Float64(), Hi: hi}
+		}
+	}
+
+	q := &relq.Query{Tables: tables, Dims: dims, Fixed: fixed, Constraint: messyAgg(rng)}
+	return q, region
+}
+
+func registerUDAs(t testing.TB) {
+	t.Helper()
+	for _, u := range agg.StandardUDAs() {
+		_ = agg.RegisterUDA(u) // duplicate registration across tests is fine
+	}
+}
+
+// TestVectorLegacyEquivalence runs 160 randomized (query, region, agg)
+// triples — COUNT/SUM/MIN/MAX/AVG plus a UDA, equi and band joins,
+// fixed ranges, string sets, NaN/±Inf aggregate values — through the
+// vectorized and legacy engines and requires bitwise-identical
+// partials.
+func TestVectorLegacyEquivalence(t *testing.T) {
+	registerUDAs(t)
+	cat := messyCatalog(t, 2500, 300, 7)
+	vec := New(cat)
+	leg := New(cat)
+	leg.SetLegacyScan(true)
+	if vec.LegacyScan() || !leg.LegacyScan() {
+		t.Fatal("legacy-scan flags not set as expected")
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	nonzero := 0
+	for trial := 0; trial < 160; trial++ {
+		q, region := messyQuery(rng)
+		pv, errV := vec.Aggregate(q, region)
+		pl, errL := leg.Aggregate(q, region)
+		if (errV != nil) != (errL != nil) {
+			t.Fatalf("trial %d: error divergence: vector=%v legacy=%v", trial, errV, errL)
+		}
+		if errV != nil {
+			continue
+		}
+		exactEqual(t, fmt.Sprintf("trial %d (%v, region %v)", trial, q.Tables, region), pv, pl)
+		if pv.Count > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 40 {
+		t.Fatalf("only %d/160 trials produced rows; generator too restrictive to be meaningful", nonzero)
+	}
+}
+
+// TestVectorLegacyEquivalenceTailBlocks sweeps table sizes around the
+// block boundary — empty tables, single rows, exactly one block, one
+// block plus one row — where off-by-one block math would bite.
+func TestVectorLegacyEquivalenceTailBlocks(t *testing.T) {
+	registerUDAs(t)
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 16, blockRows - 1, blockRows, blockRows + 1, 2*blockRows + 511} {
+		cat := messyCatalog(t, n, 50, int64(n))
+		vec := New(cat)
+		leg := New(cat)
+		leg.SetLegacyScan(true)
+		for trial := 0; trial < 8; trial++ {
+			q, region := messyQuery(rng)
+			pv, errV := vec.Aggregate(q, region)
+			pl, errL := leg.Aggregate(q, region)
+			if (errV != nil) != (errL != nil) {
+				t.Fatalf("n=%d trial %d: error divergence: %v vs %v", n, trial, errV, errL)
+			}
+			if errV != nil {
+				continue
+			}
+			exactEqual(t, fmt.Sprintf("n=%d trial %d", n, trial), pv, pl)
+		}
+	}
+}
+
+// TestVectorLegacyEquivalenceSharded drives the sweep through
+// ShardedEvaluators at shard counts 1-16 with the region cache on and
+// off. Vector and legacy evaluators share the same shard layout and
+// merge order, so even SUM must agree bit for bit.
+func TestVectorLegacyEquivalenceSharded(t *testing.T) {
+	const rows = 3000
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := usersDims()
+	queries := []*relq.Query{
+		usersQuery(relq.AggCount, "", dims...),
+		usersQuery(relq.AggSum, "spend", dims...),
+		usersQuery(relq.AggMin, "spend", dims...),
+		usersQuery(relq.AggMax, "spend", dims...),
+		usersQuery(relq.AggAvg, "spend", dims...),
+	}
+
+	rng := rand.New(rand.NewSource(29))
+	ctx := context.Background()
+	for _, shards := range []int{1, 2, 3, 5, 16} {
+		for _, cache := range []bool{false, true} {
+			vec := newShardedUsers(t, cat, shards, shardCfg{cache: cache})
+			leg := newShardedUsers(t, cat, shards, shardCfg{cache: cache})
+			leg.SetLegacyScan(true)
+
+			regions := make([]relq.Region, 6)
+			for i := range regions {
+				hi := rng.Float64() * 80
+				lo := -1.0
+				if i%2 == 1 {
+					lo = hi * rng.Float64()
+				}
+				regions[i] = relq.Region{
+					{Lo: lo, Hi: hi},
+					{Lo: -1, Hi: rng.Float64() * 80},
+					{Lo: -1, Hi: rng.Float64() * 80},
+				}
+			}
+			for qi, q := range queries {
+				pv, err := vec.AggregateBatch(ctx, q, regions)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pl, err := leg.AggregateBatch(ctx, q, regions)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range pv {
+					exactEqual(t, fmt.Sprintf("shards=%d cache=%v q=%d region=%d", shards, cache, qi, i), pv[i], pl[i])
+				}
+				if cache {
+					// Cached re-execution must serve identical partials.
+					pv2, err := vec.AggregateBatch(ctx, q, regions)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range pv2 {
+						exactEqual(t, fmt.Sprintf("shards=%d cached-rerun q=%d region=%d", shards, qi, i), pv2[i], pl[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// clusteredCatalog builds a single-table catalog whose value column is
+// sorted — the layout where zone maps can prove whole blocks out of
+// range. val runs 0..1000 ascending.
+func clusteredCatalog(t testing.TB, n int) *data.Catalog {
+	t.Helper()
+	cat := data.NewCatalog()
+	tbl := data.NewTable("events", data.MustSchema(
+		data.Column{Name: "val", Type: data.Float64},
+		data.Column{Name: "spend", Type: data.Float64},
+	))
+	for i := 0; i < n; i++ {
+		v := 1000 * float64(i) / float64(n)
+		if err := tbl.AppendRow(data.FloatValue(v), data.FloatValue(math.Sqrt(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestVectorZoneSkip verifies the zone-map fast path: on a clustered
+// column, a broad fixed range (too wide for the index path, narrow
+// enough to exclude whole blocks) must skip blocks without touching
+// their rows, RowsScanned must exclude the skipped rows, and the result
+// must still match the legacy scan exactly.
+func TestVectorZoneSkip(t *testing.T) {
+	const n = 20 * blockRows
+	cat := clusteredCatalog(t, n)
+	vec := New(cat)
+	leg := New(cat)
+	leg.SetLegacyScan(true)
+
+	q := &relq.Query{
+		Tables: []string{"events"},
+		Dims: []relq.Dimension{{
+			Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "events", Column: "spend"},
+			Bound: 20, Width: 30,
+		}},
+		Fixed: []relq.FixedPred{{
+			Kind: relq.FixedRange,
+			Col:  relq.ColumnRef{Table: "events", Column: "val"},
+			// 60% of the sorted domain: > n/2 matches, so the index path
+			// is rejected and the full scan runs with zone pruning.
+			Lo: 0, Hi: 600,
+		}},
+		Constraint: relq.Constraint{Func: relq.AggSum, Attr: relq.ColumnRef{Table: "events", Column: "spend"}, Op: relq.CmpEQ, Target: 1},
+	}
+	region := relq.PrefixRegion([]float64{100})
+
+	before := vec.Snapshot()
+	pv, err := vec.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := vec.Snapshot().Sub(before)
+	pl, err := leg.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactEqual(t, "zone-skip query", pv, pl)
+
+	if d.BlocksSkipped == 0 {
+		t.Fatalf("expected zone maps to skip blocks on clustered data; stats: %+v", d)
+	}
+	if d.BlocksScanned == 0 {
+		t.Fatalf("expected some blocks scanned; stats: %+v", d)
+	}
+	if d.RowsScanned >= int64(n) {
+		t.Fatalf("RowsScanned %d should exclude rows in the %d skipped blocks (n=%d)", d.RowsScanned, d.BlocksSkipped, n)
+	}
+	if got := d.RowsScanned + d.BlocksSkipped*blockRows; got != int64(n) {
+		t.Fatalf("scanned rows (%d) + skipped rows (%d blocks) should cover the table: got %d, want %d",
+			d.RowsScanned, d.BlocksSkipped, got, n)
+	}
+
+	// The legacy path reports every row scanned and no block counters.
+	legBefore := leg.Snapshot()
+	if _, err := leg.Aggregate(q, region); err != nil {
+		t.Fatal(err)
+	}
+	ld := leg.Snapshot().Sub(legBefore)
+	if ld.RowsScanned != int64(n) || ld.BlocksSkipped != 0 {
+		t.Fatalf("legacy stats unexpected: %+v", ld)
+	}
+}
+
+// TestViolationScanEquivalence compares the Top-k primitive row by row:
+// same rows, same order, same violation vectors bit for bit, same
+// aggregate values — and on a clustered layout the vectorized scan must
+// skip blocks while still emitting the identical row stream.
+func TestViolationScanEquivalence(t *testing.T) {
+	cat := messyCatalog(t, 3*blockRows+100, 50, 23)
+	vec := New(cat)
+	leg := New(cat)
+	leg.SetLegacyScan(true)
+
+	q := &relq.Query{
+		Tables: []string{"orders"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "orders", Column: "o_amount"}, Bound: 400, Width: 1000},
+			{Kind: relq.SelectGE, Col: relq.ColumnRef{Table: "orders", Column: "o_qty"}, Bound: 30, Width: 50},
+		},
+		Fixed: []relq.FixedPred{
+			{Kind: relq.FixedRange, Col: relq.ColumnRef{Table: "orders", Column: "o_amount"}, Lo: 50, Hi: 800},
+			{Kind: relq.FixedStringIn, Col: relq.ColumnRef{Table: "orders", Column: "o_status"}, Values: []string{"OPEN", "CLOSED"}},
+		},
+		Constraint: relq.Constraint{Func: relq.AggSum, Attr: relq.ColumnRef{Table: "orders", Column: "o_qty"}, Op: relq.CmpEQ, Target: 1},
+	}
+
+	rv, err := vec.ViolationScan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := leg.ViolationScan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv) != len(rl) {
+		t.Fatalf("row count: vectorized %d != legacy %d", len(rv), len(rl))
+	}
+	for i := range rv {
+		if rv[i].Row != rl[i].Row ||
+			math.Float64bits(rv[i].AggValue) != math.Float64bits(rl[i].AggValue) {
+			t.Fatalf("row %d: %+v != %+v", i, rv[i], rl[i])
+		}
+		for j := range rv[i].Viol {
+			if math.Float64bits(rv[i].Viol[j]) != math.Float64bits(rl[i].Viol[j]) {
+				t.Fatalf("row %d viol[%d]: %v != %v", i, j, rv[i].Viol[j], rl[i].Viol[j])
+			}
+		}
+	}
+
+	// Clustered layout: the vectorized ViolationScan must engage zone
+	// maps on its fixed range and exclude skipped rows from RowsScanned.
+	ccat := clusteredCatalog(t, 10*blockRows)
+	cvec := New(ccat)
+	cleg := New(ccat)
+	cleg.SetLegacyScan(true)
+	cq := &relq.Query{
+		Tables: []string{"events"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "events", Column: "spend"}, Bound: 10, Width: 30},
+		},
+		Fixed: []relq.FixedPred{
+			{Kind: relq.FixedRange, Col: relq.ColumnRef{Table: "events", Column: "val"}, Lo: 0, Hi: 500},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	before := cvec.Snapshot()
+	cv, err := cvec.ViolationScan(cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := cvec.Snapshot().Sub(before)
+	cl, err := cleg.ViolationScan(cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv) != len(cl) {
+		t.Fatalf("clustered row count: %d != %d", len(cv), len(cl))
+	}
+	if cd.BlocksSkipped == 0 {
+		t.Fatalf("clustered ViolationScan should skip blocks; stats %+v", cd)
+	}
+	if cd.RowsScanned >= int64(10*blockRows) {
+		t.Fatalf("RowsScanned %d should exclude skipped blocks", cd.RowsScanned)
+	}
+}
+
+// TestSemiJoinPushdownEquivalence shapes a query so the scan-level
+// semi-join pushdown engages (tiny pre-filtered probe side scanned
+// before a large build side on an equi edge) and checks the result is
+// unchanged.
+func TestSemiJoinPushdownEquivalence(t *testing.T) {
+	cat := messyCatalog(t, 8000, 400, 31)
+	vec := New(cat)
+	leg := New(cat)
+	leg.SetLegacyScan(true)
+
+	// cust is table 0 (scanned first, becomes the probe side of the
+	// planned equi attach of orders); the tight c_score bound keeps its
+	// candidate set far below len(orders)/4, arming the pushdown.
+	q := &relq.Query{
+		Tables: []string{"cust", "orders"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "cust", Column: "c_score"}, Bound: 2, Width: 100},
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "orders", Column: "o_amount"}, Bound: 700, Width: 1000},
+		},
+		Fixed: []relq.FixedPred{{
+			Kind:  relq.FixedEquiJoin,
+			Left:  relq.ColumnRef{Table: "cust", Column: "c_key"},
+			Right: relq.ColumnRef{Table: "orders", Column: "o_custkey"},
+		}},
+		Constraint: relq.Constraint{Func: relq.AggSum, Attr: relq.ColumnRef{Table: "orders", Column: "o_qty"}, Op: relq.CmpEQ, Target: 1},
+	}
+
+	b, err := vec.bind(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := vec.attachPlan(b)
+	if plan[1].equi == nil || plan[1].probeTbl != 0 {
+		t.Fatalf("attach plan did not arm pushdown for orders: %+v", plan[1])
+	}
+
+	for _, hi := range []float64{0, 3, 25, 90} {
+		region := relq.PrefixRegion([]float64{hi, hi})
+		pv, err := vec.Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := leg.Aggregate(q, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactEqual(t, fmt.Sprintf("pushdown hi=%v", hi), pv, pl)
+	}
+}
+
+// TestVectorLegacyEquivalenceAfterMutation checks the zone-map
+// generation scheme: growing a table must invalidate its zone maps (via
+// cacheGen) so the vectorized path never prunes with stale block
+// bounds.
+func TestVectorLegacyEquivalenceAfterMutation(t *testing.T) {
+	cat := clusteredCatalog(t, 4*blockRows)
+	vec := New(cat)
+	leg := New(cat)
+	leg.SetLegacyScan(true)
+
+	q := &relq.Query{
+		Tables: []string{"events"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "events", Column: "spend"}, Bound: 20, Width: 30},
+		},
+		Fixed: []relq.FixedPred{
+			{Kind: relq.FixedRange, Col: relq.ColumnRef{Table: "events", Column: "val"}, Lo: 0, Hi: 600},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	region := relq.PrefixRegion([]float64{50})
+
+	pv, err := vec.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := leg.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactEqual(t, "pre-mutation", pv, pl)
+
+	// Append out-of-order rows that an unrefreshed zone map would
+	// wrongly prune (values inside the fixed range land in new blocks,
+	// and the old tail block's max changes).
+	tbl, err := cat.Table("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < blockRows+7; i++ {
+		if err := tbl.AppendRow(data.FloatValue(300), data.FloatValue(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vec.InvalidateTable("events")
+	leg.InvalidateTable("events")
+
+	pv2, err := vec.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := leg.Aggregate(q, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactEqual(t, "post-mutation", pv2, pl2)
+	if pv2.Count <= pv.Count {
+		t.Fatalf("appended qualifying rows must grow the count: %d -> %d", pv.Count, pv2.Count)
+	}
+}

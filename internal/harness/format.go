@@ -97,6 +97,12 @@ func LatencySummary(reg *obs.Registry) string {
 		if h.Count() == 0 {
 			return
 		}
+		// Only duration histograms belong in a latency table; unitless
+		// ones (e.g. the selection-density histogram) would be garbled
+		// by the seconds-to-ms scaling.
+		if !strings.Contains(name, "_seconds") {
+			return
+		}
 		rows = append(rows, row{
 			name: name, count: h.Count(),
 			p50: h.Quantile(0.50) * 1e3,

@@ -60,6 +60,13 @@ type Config struct {
 	// exercises the sharded path end to end; results stay equivalent by
 	// the §2.6 merge rule.
 	Shards int
+	// Cluster, when set, re-sorts every generated table that has this
+	// numeric column ascending by it before building engines (-cluster).
+	// A clustered layout is what lets the vectorized scan path's
+	// per-block zone maps prove blocks out of range and skip them; on
+	// the generators' i.i.d. layouts every block spans the full value
+	// domain and zone maps never fire.
+	Cluster string
 	// Obs instruments every engine and search the harness builds
 	// (metrics, phase spans, events); nil runs uninstrumented. Excluded
 	// from results JSON — it is a live handle, not a parameter.
@@ -138,11 +145,41 @@ func tpchEngine(cfg Config) (exec.Evaluator, error) {
 	return newEngine(cat, cfg)
 }
 
+// clusterCatalog re-sorts every table carrying the named numeric
+// column ascending by it, replacing each in place in the catalog.
+func clusterCatalog(cat *data.Catalog, column string) error {
+	found := false
+	for _, name := range cat.Names() {
+		t, err := cat.Table(name)
+		if err != nil {
+			return err
+		}
+		if t.Schema().Ordinal(column) < 0 {
+			continue
+		}
+		sorted, err := data.SortedBy(t, column)
+		if err != nil {
+			return err
+		}
+		cat.Replace(sorted)
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("harness: no table has cluster column %q", column)
+	}
+	return nil
+}
+
 // newEngine builds the evaluation layer for a catalog: a monolithic
 // Engine, or — with cfg.Shards > 1 — a ShardedEvaluator over range
 // partitions of the largest table (users / partsupp, the fact table of
 // each skeleton).
 func newEngine(cat *data.Catalog, cfg Config) (exec.Evaluator, error) {
+	if cfg.Cluster != "" {
+		if err := clusterCatalog(cat, cfg.Cluster); err != nil {
+			return nil, err
+		}
+	}
 	var e exec.Evaluator
 	if cfg.Shards > 1 {
 		sv, err := exec.NewSharded(cat, cfg.Shards)
