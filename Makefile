@@ -33,6 +33,7 @@ bench-json:
 	$(GO) run ./cmd/acqbench -experiment repeated -cache -rows 20000 -json BENCH_cache.json
 	$(GO) run ./cmd/acqbench -experiment shards -rows 100000 -json BENCH_shards.json
 	$(GO) run ./cmd/acqbench -experiment scan -rows 20000 -json BENCH_scan.json
+	$(GO) run ./cmd/acqbench -experiment autocluster -rows 20000 -json BENCH_autocluster.json
 
 # Metrics-overhead guard: the exploration sweep bare vs with a live
 # registry/observer attached. The two ns/op columns should be within

@@ -181,6 +181,9 @@ type Session struct {
 	// cacheBytes is the region-cache capacity (0 = caching off); kept
 	// so an evaluation-layer switch re-attaches an equally sized cache.
 	cacheBytes int64
+	// autoCluster mirrors the engines' workload-adaptive clustering
+	// switch, so EnableSharding can carry it onto fresh shard engines.
+	autoCluster bool
 }
 
 // NewSession creates an empty session; load tables with LoadCSV or
@@ -293,6 +296,9 @@ func (s *Session) EnableSharding(n int) error {
 	if s.cacheBytes > 0 {
 		sv.EnableRegionCache(s.cacheBytes)
 	}
+	if s.autoCluster {
+		sv.SetAutoCluster(true)
+	}
 	wasExact := s.usingExact()
 	s.sharded = sv
 	if wasExact {
@@ -343,6 +349,32 @@ func (s *Session) ScatterStats() ScatterStats {
 		return ScatterStats{}
 	}
 	return s.sharded.ScatterStats()
+}
+
+// EnableAutoCluster turns on workload-adaptive clustering on the
+// session's exact engines (monolithic and, when sharding is active,
+// every shard): scans feed per-column range statistics and the engine
+// re-sorts tables around the learned dominant column between region
+// batches, so zone-map block skipping engages without a hand-picked
+// clustering column. Values, violations and aggregates are unchanged by
+// a re-sort; physical row ids of later Materialize/ViolationScan calls
+// refer to the re-clustered layout.
+func (s *Session) EnableAutoCluster() {
+	s.autoCluster = true
+	s.eng.SetAutoCluster(true)
+	if s.sharded != nil {
+		s.sharded.SetAutoCluster(true)
+	}
+}
+
+// DisableAutoCluster stops statistics collection and clustering sweeps;
+// already re-sorted tables keep their layout.
+func (s *Session) DisableAutoCluster() {
+	s.autoCluster = false
+	s.eng.SetAutoCluster(false)
+	if s.sharded != nil {
+		s.sharded.SetAutoCluster(false)
+	}
 }
 
 // Estimate executes the original (unrefined) query and returns its

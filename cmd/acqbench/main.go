@@ -77,6 +77,9 @@ var experiments = []experiment{
 	{"scan", "vectorized scan path study: legacy vs block-vectorized on the clustered fig. 8 and tpch join workloads (see -cluster)", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
 		return harness.ScanPathStudy(ctx, c)
 	}},
+	{"autocluster", "workload-adaptive clustering study: plain vs learned vs explicit -cluster layouts on the fig. 8 workload", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.AutoClusterStudy(ctx, c)
+	}},
 }
 
 func main() {
@@ -110,6 +113,7 @@ func run(ctx context.Context, args []string) error {
 		cache   = fs.Bool("cache", false, "attach a cross-search partial-aggregate cache to every engine")
 		shards  = fs.Int("shards", 1, "run harness engines as a ShardedEvaluator over N range-partitioned shards")
 		cluster = fs.String("cluster", "", "re-sort generated tables by this numeric column before building engines (engages the vectorized path's zone maps)")
+		autoCl  = fs.Bool("autocluster", false, "enable workload-adaptive clustering: engines learn the dominant range column from their own scans and re-sort between batches")
 		cacheMB = fs.Int("cache-mb", 64, "region cache capacity in MiB (with -cache)")
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/traces on this address while experiments run")
 		logJSON = fs.Bool("log-json", false, "emit structured search/engine events as JSON on stderr")
@@ -124,7 +128,7 @@ func run(ctx context.Context, args []string) error {
 	cfg := harness.Config{
 		Rows: *rows, Seed: *seed, Delta: *delta, Gamma: *gamma,
 		TQGenGridK: *gridK, TQGenRounds: *rounds, GridAgg: *gridAgg,
-		Shards: *shards, Cluster: *cluster,
+		Shards: *shards, Cluster: *cluster, AutoCluster: *autoCl,
 	}
 	if *cache {
 		cfg.CacheMB = *cacheMB

@@ -13,6 +13,10 @@ import (
 // clustered layout a range predicate excludes most blocks outright.
 // This mirrors how real columnar stores depend on sort keys / clustering
 // columns for their zone-map (a.k.a. min-max index) pruning.
+//
+// The result records its clustering column and sorted-prefix length
+// (ClusterInfo), so later appends are visible as an explicit unsorted
+// tail rather than silently stale-looking zone-map behavior.
 func SortedBy(t *Table, column string) (*Table, error) {
 	ord := t.schema.Ordinal(column)
 	if ord < 0 {
@@ -28,16 +32,85 @@ func SortedBy(t *Table, column string) (*Table, error) {
 		perm[i] = i
 	}
 	sort.SliceStable(perm, func(a, b int) bool {
-		ka, kb := key[perm[a]], key[perm[b]]
-		if ka != ka { // NaN sorts last
-			return false
-		}
-		if kb != kb {
-			return true
-		}
-		return ka < kb
+		return keyLess(key[perm[a]], key[perm[b]])
 	})
 
+	out := permuted(t, perm)
+	out.clusterCol = t.schema.Columns[ord].Name
+	out.sortedRows = out.rows
+	return out, nil
+}
+
+// MergeClusteredTail merges a clustered table's unsorted append tail
+// back into its sorted run: the tail rows are sorted by the clustering
+// key and two-run merged with the existing prefix, O(n + k log k) for a
+// k-row tail instead of a full re-sort. Row order among equal keys is
+// the stable one (prefix rows before tail rows, each in original
+// order), so the result is bitwise identical to SortedBy over the same
+// rows. It is an error to call this on an unclustered table; a table
+// with no tail is returned unchanged.
+func MergeClusteredTail(t *Table) (*Table, error) {
+	if t.clusterCol == "" {
+		return nil, fmt.Errorf("data: table %s is not clustered", t.name)
+	}
+	if t.sortedRows >= t.rows {
+		return t, nil
+	}
+	ord := t.schema.Ordinal(t.clusterCol)
+	if ord < 0 {
+		return nil, fmt.Errorf("data: table %s lost cluster column %q", t.name, t.clusterCol)
+	}
+	key, err := t.NumericColumn(ord)
+	if err != nil {
+		return nil, fmt.Errorf("data: cluster column must be numeric: %w", err)
+	}
+
+	s := t.sortedRows
+	tail := make([]int, t.rows-s)
+	for i := range tail {
+		tail[i] = s + i
+	}
+	sort.SliceStable(tail, func(a, b int) bool {
+		return keyLess(key[tail[a]], key[tail[b]])
+	})
+
+	perm := make([]int, 0, t.rows)
+	i, j := 0, 0
+	for i < s && j < len(tail) {
+		// Prefix wins ties: prefix rows precede tail rows in the
+		// original order, which is what stability requires.
+		if keyLess(key[tail[j]], key[i]) {
+			perm = append(perm, tail[j])
+			j++
+		} else {
+			perm = append(perm, i)
+			i++
+		}
+	}
+	for ; i < s; i++ {
+		perm = append(perm, i)
+	}
+	perm = append(perm, tail[j:]...)
+
+	out := permuted(t, perm)
+	out.clusterCol = t.clusterCol
+	out.sortedRows = out.rows
+	return out, nil
+}
+
+// keyLess is the clustering comparator: ascending, NaNs last.
+func keyLess(a, b float64) bool {
+	if a != a { // NaN sorts last
+		return false
+	}
+	if b != b {
+		return true
+	}
+	return a < b
+}
+
+// permuted builds a fresh table whose row i is t's row perm[i].
+func permuted(t *Table, perm []int) *Table {
 	out := &Table{
 		name:    t.name,
 		schema:  t.schema,
@@ -68,5 +141,5 @@ func SortedBy(t *Table, column string) (*Table, error) {
 		}
 		out.strings[o] = nv
 	}
-	return out, nil
+	return out
 }

@@ -1,0 +1,227 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// clusterTestTable builds an n-row numeric table with a float64 key
+// column (including NaN and ±Inf sprinkles), an int64 payload and a
+// string tag, so permutation bugs show up in every column kind.
+func clusterTestTable(t *testing.T, n int, seed int64) *Table {
+	t.Helper()
+	tbl := NewTable("events", MustSchema(
+		Column{Name: "key", Type: Float64},
+		Column{Name: "payload", Type: Int64},
+		Column{Name: "tag", Type: String},
+	))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		k := rng.Float64() * 1000
+		switch rng.Intn(40) {
+		case 0:
+			k = math.NaN()
+		case 1:
+			k = math.Inf(1)
+		case 2:
+			k = math.Inf(-1)
+		}
+		if err := tbl.AppendRow(FloatValue(k), IntValue(int64(i)), StringValue(string(rune('a'+i%7)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// appendClusterRows appends k more rows in the same style.
+func appendClusterRows(t *testing.T, tbl *Table, k int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	base := tbl.NumRows()
+	for i := 0; i < k; i++ {
+		v := rng.Float64() * 1000
+		if rng.Intn(20) == 0 {
+			v = math.NaN()
+		}
+		if err := tbl.AppendRow(FloatValue(v), IntValue(int64(base+i)), StringValue("t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// sameRows asserts two tables hold bitwise-identical column vectors.
+func sameRows(t *testing.T, got, want *Table) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("rows: got %d, want %d", got.NumRows(), want.NumRows())
+	}
+	for ord := range want.schema.Columns {
+		for row := 0; row < want.NumRows(); row++ {
+			gv, wv := got.ValueAt(row, ord), want.ValueAt(row, ord)
+			if gv.Kind != wv.Kind ||
+				math.Float64bits(gv.F) != math.Float64bits(wv.F) ||
+				gv.I != wv.I || gv.S != wv.S {
+				t.Fatalf("col %d row %d: got %+v, want %+v", ord, row, gv, wv)
+			}
+		}
+	}
+}
+
+func TestSortedByClusterInfo(t *testing.T) {
+	tbl := clusterTestTable(t, 500, 1)
+	if col, sorted := tbl.ClusterInfo(); col != "" || sorted != 0 {
+		t.Fatalf("fresh table ClusterInfo = (%q, %d), want empty", col, sorted)
+	}
+	sorted, err := SortedBy(tbl, "KEY") // case-insensitive lookup
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col, n := sorted.ClusterInfo(); col != "key" || n != 500 {
+		t.Fatalf("ClusterInfo = (%q, %d), want (key, 500)", col, n)
+	}
+	if sorted.ClusterTail() != 0 {
+		t.Fatalf("ClusterTail = %d, want 0", sorted.ClusterTail())
+	}
+
+	// Ascending with NaNs last, and every original row still present.
+	key, err := sorted.NumericColumn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenNaN := false
+	for i := 1; i < len(key); i++ {
+		if math.IsNaN(key[i-1]) {
+			seenNaN = true
+		}
+		if seenNaN && !math.IsNaN(key[i]) {
+			t.Fatalf("row %d: non-NaN %v after NaN", i, key[i])
+		}
+		if !math.IsNaN(key[i-1]) && !math.IsNaN(key[i]) && key[i-1] > key[i] {
+			t.Fatalf("row %d: keys out of order: %v > %v", i, key[i-1], key[i])
+		}
+	}
+	seen := make(map[int64]bool, 500)
+	pay, _ := sorted.Ints(1)
+	for _, p := range pay {
+		if seen[p] {
+			t.Fatalf("payload %d duplicated by permutation", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 500 {
+		t.Fatalf("permutation lost rows: %d distinct payloads", len(seen))
+	}
+
+	// Appends grow an explicit unsorted tail.
+	appendClusterRows(t, sorted, 37, 2)
+	if col, n := sorted.ClusterInfo(); col != "key" || n != 500 {
+		t.Fatalf("post-append ClusterInfo = (%q, %d), want (key, 500)", col, n)
+	}
+	if sorted.ClusterTail() != 37 {
+		t.Fatalf("post-append ClusterTail = %d, want 37", sorted.ClusterTail())
+	}
+
+	if _, err := SortedBy(tbl, "tag"); err == nil {
+		t.Fatal("SortedBy on a string column: expected error")
+	}
+	if _, err := SortedBy(tbl, "nope"); err == nil {
+		t.Fatal("SortedBy on a missing column: expected error")
+	}
+}
+
+// TestMergeClusteredTailMatchesSortedBy is the tail-merge soundness
+// property the auto-clustering sweep depends on: merging an unsorted
+// append tail into the sorted run must be bitwise identical to a full
+// re-sort of the same rows (stability included — prefix rows precede
+// tail rows among equal keys, which SortedBy's stable sort reproduces).
+func TestMergeClusteredTailMatchesSortedBy(t *testing.T) {
+	for _, tc := range []struct{ n, tail int }{
+		{100, 1}, {100, 99}, {1000, 40}, {1000, 1000}, {3, 2},
+	} {
+		tbl := clusterTestTable(t, tc.n, int64(tc.n))
+		sorted, err := SortedBy(tbl, "key")
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendClusterRows(t, sorted, tc.tail, int64(tc.tail)+7)
+
+		merged, err := MergeClusteredTail(sorted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged == sorted {
+			t.Fatalf("n=%d tail=%d: merge returned the input table", tc.n, tc.tail)
+		}
+		if col, nr := merged.ClusterInfo(); col != "key" || nr != tc.n+tc.tail {
+			t.Fatalf("n=%d tail=%d: merged ClusterInfo = (%q, %d)", tc.n, tc.tail, col, nr)
+		}
+
+		want, err := SortedBy(sorted, "key")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, merged, want)
+	}
+}
+
+func TestMergeClusteredTailEdgeCases(t *testing.T) {
+	tbl := clusterTestTable(t, 50, 9)
+	if _, err := MergeClusteredTail(tbl); err == nil {
+		t.Fatal("unclustered table: expected error")
+	}
+	sorted, err := SortedBy(tbl, "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := MergeClusteredTail(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != sorted {
+		t.Fatal("no-tail merge should return the table unchanged")
+	}
+}
+
+// TestSlicePropagatesCluster checks that a zero-copy view inherits the
+// clustering column with its sorted prefix clamped to the overlap —
+// what lets every shard of a clustered parent keep zone-map pruning.
+func TestSlicePropagatesCluster(t *testing.T) {
+	tbl := clusterTestTable(t, 200, 3)
+	sorted, err := SortedBy(tbl, "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendClusterRows(t, sorted, 40, 4) // sortedRows=200, rows=240
+
+	cases := []struct {
+		lo, hi     int
+		wantSorted int
+	}{
+		{0, 240, 200},  // full view: same split
+		{0, 150, 150},  // inside the sorted run: fully sorted
+		{50, 200, 150}, // suffix of the run: fully sorted
+		{180, 240, 20}, // straddles the boundary
+		{200, 240, 0},  // pure tail: no sorted prefix
+		{210, 230, 0},
+	}
+	for _, tc := range cases {
+		v := sorted.Slice(tc.lo, tc.hi)
+		col, n := v.ClusterInfo()
+		if col != "key" {
+			t.Fatalf("slice [%d,%d): lost cluster column", tc.lo, tc.hi)
+		}
+		if n != tc.wantSorted {
+			t.Fatalf("slice [%d,%d): sortedRows = %d, want %d", tc.lo, tc.hi, n, tc.wantSorted)
+		}
+		if tail := v.ClusterTail(); tail != v.NumRows()-tc.wantSorted {
+			t.Fatalf("slice [%d,%d): ClusterTail = %d, want %d", tc.lo, tc.hi, tail, v.NumRows()-tc.wantSorted)
+		}
+	}
+
+	// An unclustered parent's views stay unclustered.
+	v := tbl.Slice(0, 100)
+	if col, n := v.ClusterInfo(); col != "" || n != 0 {
+		t.Fatalf("unclustered slice ClusterInfo = (%q, %d)", col, n)
+	}
+}

@@ -19,6 +19,16 @@ type Table struct {
 	floats  map[int][]float64 // ordinal -> vector
 	strings map[int][]string  // ordinal -> vector
 
+	// Clustering metadata: clusterCol names the numeric column the rows
+	// were last sorted by (via SortedBy / MergeClusteredTail), and
+	// sortedRows is the length of the sorted prefix run. Appends after
+	// clustering land beyond sortedRows as an explicitly-degraded
+	// unsorted tail; the executor reads ClusterInfo to decide whether
+	// (and how far) zone maps stay trustworthy-by-construction and when
+	// a tail merge pays for itself.
+	clusterCol string
+	sortedRows int
+
 	// stats are lazily computed min/max per numeric ordinal; ACQUIRE
 	// needs attribute domains to anchor predicate intervals (§2.2:
 	// "if the minimum value of B.y is 0 ..."). statsMu guards the lazy
@@ -66,6 +76,23 @@ func (t *Table) Schema() *Schema { return t.schema }
 
 // NumRows returns the row count.
 func (t *Table) NumRows() int { return t.rows }
+
+// ClusterInfo reports the clustering column the table was last sorted
+// by and the length of the sorted prefix run. An unclustered table
+// returns ("", 0). sortedRows < NumRows means appends have grown an
+// unsorted tail beyond the clustered run.
+func (t *Table) ClusterInfo() (column string, sortedRows int) {
+	return t.clusterCol, t.sortedRows
+}
+
+// ClusterTail returns the number of rows appended after the last
+// clustering pass (zero for unclustered or fully-sorted tables).
+func (t *Table) ClusterTail() int {
+	if t.clusterCol == "" {
+		return 0
+	}
+	return t.rows - t.sortedRows
+}
 
 // AppendRow appends one row given values in schema order.
 func (t *Table) AppendRow(vals ...Value) error {
@@ -207,6 +234,18 @@ func (t *Table) Slice(lo, hi int) *Table {
 	}
 	for ord, v := range t.strings {
 		out.strings[ord] = v[lo:hi:hi]
+	}
+	// A contiguous slice of a sorted run is itself sorted: the view
+	// inherits the clustering column with its prefix clamped to the
+	// overlap between [lo, hi) and the parent's sorted run.
+	if t.clusterCol != "" {
+		out.clusterCol = t.clusterCol
+		if s := t.sortedRows - lo; s > 0 {
+			if s > out.rows {
+				s = out.rows
+			}
+			out.sortedRows = s
+		}
 	}
 	return out
 }

@@ -1,0 +1,345 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"acquire/internal/data"
+	"acquire/internal/relq"
+	"acquire/internal/tpch"
+)
+
+// eagerPolicy is a low-threshold policy so tests converge in a couple
+// of batches instead of the production default's 24 scans.
+var eagerPolicy = AutoClusterPolicy{
+	MinScans:       8,
+	MaxSelectivity: 0.95,
+	MinRows:        2048,
+	Hysteresis:     2,
+	TailFraction:   0.05,
+}
+
+// prefixRegions is the fig. 8-style batch the auto-clustering tests
+// drive: 8 widening prefix regions over the three users dims.
+func prefixRegions() []relq.Region {
+	var regions []relq.Region
+	for i := 0; i < 8; i++ {
+		h := 10 + float64(i)*8
+		regions = append(regions, relq.Region{{Lo: -1, Hi: h}, {Lo: -1, Hi: 70 - h/2}, {Lo: -1, Hi: h}})
+	}
+	return regions
+}
+
+func TestWorkloadStatsObserve(t *testing.T) {
+	var w workloadStats
+	drives := []scanDrive{{ord: 1}, {ord: 3}}
+
+	w.observe("users", 1000, drives, 100) // sel 0.1 seeds the EWMA
+	w.observe("users", 1000, drives, 500) // sel 0.5 folds in at alpha
+	snap := w.snapshot()
+	cols, ok := snap["users"]
+	if !ok || len(cols) != 2 {
+		t.Fatalf("snapshot = %+v, want 2 columns under users", snap)
+	}
+	for _, ord := range []int{1, 3} {
+		cw := cols[ord]
+		if cw.touches != 2 {
+			t.Errorf("ord %d touches = %d, want 2", ord, cw.touches)
+		}
+		want := float64(100) / 1000 // seeded, then one EWMA fold below
+		want += ewmaAlpha * (float64(500)/1000 - want)
+		if cw.ewma != want {
+			t.Errorf("ord %d ewma = %v, want %v", ord, cw.ewma, want)
+		}
+	}
+
+	// Degenerate observations are ignored.
+	w.observe("users", 0, drives, 0)
+	w.observe("users", 1000, nil, 10)
+	if w.snapshot()["users"][1].touches != 2 {
+		t.Error("degenerate observe mutated the stats")
+	}
+
+	// forget drops the table; a mutated snapshot copy never writes back.
+	snap["users"][1] = colWorkload{touches: 99}
+	if w.snapshot()["users"][1].touches != 2 {
+		t.Error("snapshot aliases live stats")
+	}
+	w.forget("users")
+	if len(w.snapshot()) != 0 {
+		t.Error("forget left stats behind")
+	}
+}
+
+// TestAutoClusterElectsAndResorts drives the fig. 8 users batch through
+// an auto-clustering engine until the sweep re-sorts the table, and
+// checks the full contract: a clustering column is elected from the
+// query's own dims, the catalog table is physically replaced with a
+// clustered layout, zone maps engage on later batches (blocks skipped
+// with no -cluster anywhere), and every batch before, across, and after
+// the re-sort returns bit-identical COUNT partials to a plain engine.
+func TestAutoClusterElectsAndResorts(t *testing.T) {
+	const rows = 6000
+	ctx := context.Background()
+	newCat := func() *data.Catalog {
+		cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cat
+	}
+	ref := New(newCat())
+	auto := New(newCat())
+	auto.ClusterPolicy = eagerPolicy
+	auto.SetAutoCluster(true)
+	if !auto.AutoClusterOn() {
+		t.Fatal("AutoClusterOn = false after SetAutoCluster(true)")
+	}
+
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	regions := prefixRegions()
+
+	check := func(batch int) {
+		t.Helper()
+		want, err := ref.AggregateBatch(ctx, q, regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := auto.AggregateBatch(ctx, q, regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			exactEqual(t, fmt.Sprintf("batch %d region %d", batch, i), got[i], want[i])
+		}
+	}
+
+	resortAt := -1
+	for batch := 1; batch <= 10; batch++ {
+		check(batch)
+		if auto.Snapshot().Resorts >= 1 {
+			resortAt = batch
+			break
+		}
+	}
+	if resortAt < 0 {
+		t.Fatalf("no re-sort within 10 batches: stats %+v", auto.Snapshot())
+	}
+
+	tbl, err := auto.Catalog().Table("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, sorted := tbl.ClusterInfo()
+	switch col {
+	case "age", "income", "distance":
+	default:
+		t.Fatalf("elected clustering column %q, want one of the query dims", col)
+	}
+	if sorted != rows {
+		t.Fatalf("sorted prefix = %d, want %d", sorted, rows)
+	}
+
+	// Steady state: answers still match and zone maps now engage.
+	before := auto.Snapshot()
+	check(resortAt + 1)
+	d := auto.Snapshot().Sub(before)
+	if d.BlocksSkipped == 0 {
+		t.Errorf("steady-state batch skipped no blocks: %+v", d)
+	}
+
+	// An engine that learned once doesn't thrash: the incumbent column
+	// holds under equal touch counts (hysteresis), so more batches add
+	// no further re-sorts.
+	for batch := 0; batch < 3; batch++ {
+		check(resortAt + 2 + batch)
+	}
+	if got := auto.Snapshot().Resorts; got != 1 {
+		t.Errorf("Resorts = %d after steady batches, want 1", got)
+	}
+}
+
+// appendUsers appends k synthetic rows to the users table in schema
+// order (u_id, age, income, distance, sessions, spend, gender,
+// location).
+func appendUsers(t *testing.T, tbl *data.Table, k int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	base := tbl.NumRows()
+	for i := 0; i < k; i++ {
+		if err := tbl.AppendRow(
+			data.IntValue(int64(base+i)),
+			data.IntValue(18+int64(rng.Intn(52))),
+			data.FloatValue(rng.Float64()*200000),
+			data.FloatValue(rng.Float64()*100),
+			data.FloatValue(rng.Float64()*50),
+			data.FloatValue(rng.Float64()*1000),
+			data.StringValue("F"),
+			data.StringValue("city"),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClusterTailDegradationAndMerge is the SortedBy + append
+// regression test: appends after clustering land in an explicit
+// unsorted tail, full scans over a block-or-bigger tail surface as
+// DegradedScans instead of silently losing pruning, and the
+// auto-clustering sweep merges the tail back (TailMerges) — after
+// which the degradation stops and answers never change.
+func TestClusterTailDegradationAndMerge(t *testing.T) {
+	const rows = 6000
+	ctx := context.Background()
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := cat.Table("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := data.SortedBy(tbl, "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Replace(sorted)
+
+	e := New(cat)
+	e.ClusterPolicy = eagerPolicy
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	regions := prefixRegions()
+
+	before := e.Snapshot()
+	want, err := e.AggregateBatch(ctx, q, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.Snapshot().Sub(before)
+	if d.DegradedScans != 0 {
+		t.Fatalf("clean clustered table reported %d degraded scans", d.DegradedScans)
+	}
+	if d.BlocksSkipped == 0 {
+		t.Fatalf("clustered table skipped no blocks: %+v", d)
+	}
+
+	// Outgrow one block: scans must flag the degraded regime. The
+	// appended rows change the expected partials, so recompute the
+	// reference from a fresh engine over the same catalog.
+	appendUsers(t, sorted, blockRows+100, 7)
+	if sorted.ClusterTail() != blockRows+100 {
+		t.Fatalf("ClusterTail = %d, want %d", sorted.ClusterTail(), blockRows+100)
+	}
+	want, err = New(cat).AggregateBatch(ctx, q, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before = e.Snapshot()
+	e.SetAutoCluster(true) // sweep may now merge the tail at batch end
+	got, err := e.AggregateBatch(ctx, q, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		exactEqual(t, fmt.Sprintf("tail batch region %d", i), got[i], want[i])
+	}
+	d = e.Snapshot().Sub(before)
+	if d.DegradedScans == 0 {
+		t.Errorf("block-sized tail produced no degraded scans: %+v", d)
+	}
+	if d.TailMerges != 1 {
+		t.Fatalf("TailMerges = %d after sweep, want 1", d.TailMerges)
+	}
+	if d.Resorts != 0 {
+		t.Errorf("tail merge also re-sorted: %+v", d)
+	}
+
+	merged, err := cat.Table("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col, n := merged.ClusterInfo(); col != "age" || n != merged.NumRows() {
+		t.Fatalf("post-merge ClusterInfo = (%q, %d), want (age, %d)", col, n, merged.NumRows())
+	}
+
+	// Post-merge: same answers, no more degradation.
+	before = e.Snapshot()
+	got, err = e.AggregateBatch(ctx, q, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		exactEqual(t, fmt.Sprintf("merged batch region %d", i), got[i], want[i])
+	}
+	if d := e.Snapshot().Sub(before); d.DegradedScans != 0 {
+		t.Errorf("degraded scans persist after tail merge: %+v", d)
+	}
+}
+
+// TestAutoClusterSharded drives the sharded scatter-gather stack with
+// auto-clustering enabled: each shard learns and re-sorts its own range
+// independently (the sweep runs after the gather, since the scatter
+// path never calls Engine.AggregateBatch), gathered Resorts surface in
+// the merged Snapshot, and every batch stays bit-identical to the
+// monolithic plain engine.
+func TestAutoClusterSharded(t *testing.T) {
+	const rows = 6000
+	ctx := context.Background()
+	newCat := func() *data.Catalog {
+		cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cat
+	}
+	ref := New(newCat())
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	regions := prefixRegions()
+	want, err := ref.AggregateBatch(ctx, q, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		sv, err := NewShardedOn(newCat(), "users", shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv.SetAutoCluster(true)
+		for _, se := range sv.engines {
+			pol := eagerPolicy
+			pol.MinRows = 512 // shards hold rows/shards each
+			se.ClusterPolicy = pol
+		}
+
+		resorted := false
+		for batch := 1; batch <= 10; batch++ {
+			got, err := sv.AggregateBatch(ctx, q, regions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				exactEqual(t, fmt.Sprintf("shards=%d batch %d region %d", shards, batch, i), got[i], want[i])
+			}
+			if sv.Snapshot().Resorts >= int64(shards) {
+				resorted = true
+				break
+			}
+		}
+		if !resorted {
+			t.Fatalf("shards=%d: %d resorts in 10 batches, want >= %d",
+				shards, sv.Snapshot().Resorts, shards)
+		}
+		// Settled: one more batch must still agree.
+		got, err := sv.AggregateBatch(ctx, q, regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			exactEqual(t, fmt.Sprintf("shards=%d settled region %d", shards, i), got[i], want[i])
+		}
+	}
+}

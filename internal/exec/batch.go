@@ -30,6 +30,10 @@ func (e *Engine) AggregateBatch(ctx context.Context, q *relq.Query, regions []re
 	if err != nil {
 		return nil, err
 	}
+	// Auto-clustering sweeps run between batches, never mid-query: the
+	// batch computes entirely on the layout it bound, and a re-sort
+	// triggered by its own scan statistics only affects later batches.
+	defer e.maybeAutoCluster()
 	out := make([]agg.Partial, len(regions))
 	w := e.workers()
 	if w > len(regions) {

@@ -204,7 +204,10 @@ func (e *Engine) bind(q *relq.Query) (*binding, error) {
 
 // numericColumn returns the cached float64 view of a numeric column.
 // data.Table.NumericColumn copies Int64 vectors on every call; the cache
-// makes repeated cell-query execution allocation-free.
+// makes repeated cell-query execution allocation-free. Hits require the
+// entry to have been built from this exact *Table at this row count
+// (see colEntry), so both appends and same-size catalog Replaces — an
+// auto-clustering re-sort is one — miss and rebuild.
 func (e *Engine) numericColumn(t *data.Table, col string) ([]float64, error) {
 	ord := t.Schema().Ordinal(col)
 	if ord < 0 {
@@ -212,19 +215,17 @@ func (e *Engine) numericColumn(t *data.Table, col string) ([]float64, error) {
 	}
 	key := colKey{table: strings.ToLower(t.Name()), ord: ord}
 	e.mu.RLock()
-	vec, ok := e.colCache[key]
-	gen := e.cacheGen[key.table]
+	ent, ok := e.colCache[key]
 	e.mu.RUnlock()
-	if ok && gen == t.NumRows() {
-		return vec, nil
+	if ok && ent.src == t && len(ent.vec) == t.NumRows() {
+		return ent.vec, nil
 	}
 	vec, err := t.NumericColumn(ord)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
-	e.colCache[key] = vec
-	e.cacheGen[key.table] = t.NumRows()
+	e.colCache[key] = colEntry{vec: vec, src: t}
 	e.mu.Unlock()
 	return vec, nil
 }

@@ -69,23 +69,23 @@ func buildZoneMap(vec []float64) *zoneMap {
 
 // zoneMapFor returns the cached zone map for a column, building it on
 // first use. Zone maps live alongside the column and sorted-index
-// caches under the same cacheGen generation scheme: a table that has
-// grown since the map was built rebuilds it, and InvalidateTable drops
-// it with the rest of the table's derived state. vec must be the
-// column's current vector (as resolved through numericColumn), so the
-// build never re-fetches.
+// caches under the same table-identity scheme: a hit requires the exact
+// *Table the map was built from at the same column length, so both
+// appends and same-size catalog Replaces (auto-clustering re-sorts)
+// rebuild, and InvalidateTable drops the entry with the rest of the
+// table's derived state. vec must be the column's current vector (as
+// resolved through numericColumn), so the build never re-fetches.
 func (e *Engine) zoneMapFor(t *data.Table, ord int, vec []float64) *zoneMap {
 	key := colKey{table: strings.ToLower(t.Name()), ord: ord}
 	e.mu.RLock()
-	zm, ok := e.zones[key]
-	gen := e.cacheGen[key.table]
+	ent, ok := e.zones[key]
 	e.mu.RUnlock()
-	if ok && gen == t.NumRows() && len(zm.mins) == numBlocks(len(vec)) {
-		return zm
+	if ok && ent.src == t && ent.n == len(vec) {
+		return ent.zm
 	}
-	zm = buildZoneMap(vec)
+	zm := buildZoneMap(vec)
 	e.mu.Lock()
-	e.zones[key] = zm
+	e.zones[key] = zoneEntry{zm: zm, src: t, n: len(vec)}
 	e.mu.Unlock()
 	return zm
 }
@@ -137,33 +137,68 @@ func prunePad(lo, hi float64) (float64, float64) {
 }
 
 // pruneInterval returns the conservative value interval a select
-// dimension admits under a region upper bound hi — the one-sided hull
-// the scan's verify step actually enforces. The scan only rejects rows
-// with Violation(v) > hi (the region's lower bound is checked later, in
-// finalize), so pruning must not use the Lo side: for SelectLE every
-// v <= BoundAt(hi) passes the scan, however negative its violation
-// slack.
-func pruneInterval(d *relq.Dimension, hi float64) (float64, float64) {
+// dimension admits under a region interval — the hull used for
+// zone-map block skipping on full scans.
+//
+// The Hi side is what the scan's verify step enforces (rows with
+// Violation(v) > iv.Hi are rejected at scan time), so it always prunes.
+// The Lo side is enforced only later — per surviving tuple, in
+// finalize's `v > iv.Lo && v <= iv.Hi` check and Materialize's
+// region.Contains — but that is exactly what makes Lo pruning sound for
+// the monotone kinds: a block whose every value has Violation <= iv.Lo
+// contributes no tuple that survives finalize, so dropping it cannot
+// change any aggregate, violation stream, or materialized result. For
+// SelectLE violation grows with v, so iv.Lo > 0 yields the sound lower
+// bound v > BoundAt(iv.Lo); SelectGE mirrors it. SelectEQ's admitted
+// set under iv.Lo > 0 is a band with a hole in the middle — not a
+// single interval — so only its outer (Hi) band prunes.
+//
+// Candidate lists on zone-pruned full scans may therefore be a subset
+// of the legacy path's (rows that could never reach the final result);
+// surviving tuples, their order, and every aggregate bit are unchanged.
+func pruneInterval(d *relq.Dimension, iv relq.ViolInterval) (float64, float64) {
+	lo, hi := math.Inf(-1), math.Inf(1)
 	switch d.Kind {
 	case relq.SelectLE:
-		return prunePad(math.Inf(-1), d.BoundAt(hi))
+		hi = d.BoundAt(iv.Hi)
+		if iv.Lo > 0 {
+			lo = d.BoundAt(iv.Lo)
+		}
 	case relq.SelectGE:
-		return prunePad(d.BoundAt(hi), math.Inf(1))
+		lo = d.BoundAt(iv.Hi)
+		if iv.Lo > 0 {
+			hi = d.BoundAt(iv.Lo)
+		}
 	case relq.SelectEQ:
-		band := d.BoundAt(hi)
-		return prunePad(d.Bound-band, d.Bound+band)
+		band := d.BoundAt(iv.Hi)
+		lo, hi = d.Bound-band, d.Bound+band
 	default:
-		return math.Inf(-1), math.Inf(1)
+		return lo, hi
 	}
+	return prunePad(lo, hi)
 }
 
-// The filter primitives below compact a selection vector in place:
-// every surviving row id is written forward, so one pass applies one
-// predicate to a whole block with no branch in the store path. The
-// keep conditions are the exact negations of the row-at-a-time scan's
-// reject conditions — including their NaN behavior — so a filter chain
-// keeps precisely the rows the legacy verify loop keeps, in the same
-// order.
+// The filter primitives below compact a selection vector in place in
+// SIMD-friendly shape (the gonum/asm idiom, pure Go): the surviving row
+// id is stored unconditionally and the output cursor advances by a
+// branchless boolean-to-int increment (`k += b2i(keep)`), so the store
+// path compiles to compare + SETcc + add with no data-dependent branch
+// for the predictor to miss on mixed-selectivity blocks. Dense variants
+// (filterRangeDense / filterViolationDense) run the chain's first
+// predicate straight over a contiguous column stride, emitting row ids
+// without the identity-fill + gather round trip. The keep conditions
+// are the exact negations of the row-at-a-time scan's reject
+// conditions — including their NaN behavior — so a filter chain keeps
+// precisely the rows the legacy verify loop keeps, in the same order.
+
+// b2i converts a predicate result to an output-cursor increment. The
+// compiler lowers it to SETcc, keeping compaction loops branch-free.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // filterRange keeps rows with lo <= vec[r] <= hi, NaN included (the
 // scan's reject test `v < lo || v > hi` is false for NaN).
@@ -172,14 +207,53 @@ func filterRange(sel []int32, vec []float64, lo, hi float64) []int32 {
 	for _, r := range sel {
 		v := vec[r]
 		sel[k] = r
-		if !(v < lo || v > hi) {
-			k++
-		}
+		k += b2i(!(v < lo || v > hi))
 	}
 	return sel[:k]
 }
 
-// filterStringIn keeps rows whose string value is in the set.
+// filterRangeDense filters the contiguous rows [lo, hi) of a column
+// against [plo, phi], appending surviving row ids into buf — the dense
+// first-predicate kernel of a full block scan. The main loop runs
+// 8-wide over a fixed stride: each lane is an independent load +
+// compare + unconditional store + SETcc advance, the shape
+// auto-vectorizers and wide cores both like.
+func filterRangeDense(buf []int32, vec []float64, lo, hi int, plo, phi float64) []int32 {
+	sel := buf[:cap(buf)]
+	col := vec[lo:hi]
+	base := int32(lo)
+	k, i := 0, 0
+	for ; i+8 <= len(col); i += 8 {
+		v0, v1, v2, v3 := col[i], col[i+1], col[i+2], col[i+3]
+		v4, v5, v6, v7 := col[i+4], col[i+5], col[i+6], col[i+7]
+		r := base + int32(i)
+		sel[k] = r
+		k += b2i(!(v0 < plo || v0 > phi))
+		sel[k] = r + 1
+		k += b2i(!(v1 < plo || v1 > phi))
+		sel[k] = r + 2
+		k += b2i(!(v2 < plo || v2 > phi))
+		sel[k] = r + 3
+		k += b2i(!(v3 < plo || v3 > phi))
+		sel[k] = r + 4
+		k += b2i(!(v4 < plo || v4 > phi))
+		sel[k] = r + 5
+		k += b2i(!(v5 < plo || v5 > phi))
+		sel[k] = r + 6
+		k += b2i(!(v6 < plo || v6 > phi))
+		sel[k] = r + 7
+		k += b2i(!(v7 < plo || v7 > phi))
+	}
+	for ; i < len(col); i++ {
+		v := col[i]
+		sel[k] = base + int32(i)
+		k += b2i(!(v < plo || v > phi))
+	}
+	return sel[:k]
+}
+
+// filterStringIn keeps rows whose string value is in the set. (Map
+// probes keep a branch — hashing dominates here anyway.)
 func filterStringIn(sel []int32, vec []string, set map[string]struct{}) []int32 {
 	k := 0
 	for _, r := range sel {
@@ -204,33 +278,80 @@ func filterViolation(sel []int32, d *relq.Dimension, vec []float64, hi float64) 
 		for _, r := range sel {
 			v := vec[r]
 			sel[k] = r
-			if !(v > bound && (v-bound)*scale > hi) {
-				k++
-			}
+			k += b2i(!(v > bound && (v-bound)*scale > hi))
 		}
 	case relq.SelectGE:
 		bound, scale := d.Bound, 100/d.Width
 		for _, r := range sel {
 			v := vec[r]
 			sel[k] = r
-			if !(v < bound && (bound-v)*scale > hi) {
-				k++
-			}
+			k += b2i(!(v < bound && (bound-v)*scale > hi))
 		}
 	case relq.SelectEQ:
 		bound, scale := d.Bound, 100/d.Width
 		for _, r := range sel {
 			sel[k] = r
-			if !(math.Abs(vec[r]-bound)*scale > hi) {
-				k++
-			}
+			k += b2i(!(math.Abs(vec[r]-bound)*scale > hi))
 		}
 	default:
 		for _, r := range sel {
 			sel[k] = r
-			if !(d.Violation(vec[r]) > hi) {
-				k++
+			k += b2i(!(d.Violation(vec[r]) > hi))
+		}
+	}
+	return sel[:k]
+}
+
+// filterViolationDense is filterViolation's dense first-predicate form:
+// it evaluates the dimension's violation over the contiguous rows
+// [lo, hi) of its column, appending survivors into buf. Same exact
+// float expressions, 8-wide strides for the two monotone kinds.
+func filterViolationDense(buf []int32, d *relq.Dimension, vec []float64, lo, hi int, vhi float64) []int32 {
+	sel := buf[:cap(buf)]
+	col := vec[lo:hi]
+	base := int32(lo)
+	k, i := 0, 0
+	switch d.Kind {
+	case relq.SelectLE:
+		bound, scale := d.Bound, 100/d.Width
+		for ; i+8 <= len(col); i += 8 {
+			r := base + int32(i)
+			for j := 0; j < 8; j++ {
+				v := col[i+j]
+				sel[k] = r + int32(j)
+				k += b2i(!(v > bound && (v-bound)*scale > vhi))
 			}
+		}
+		for ; i < len(col); i++ {
+			v := col[i]
+			sel[k] = base + int32(i)
+			k += b2i(!(v > bound && (v-bound)*scale > vhi))
+		}
+	case relq.SelectGE:
+		bound, scale := d.Bound, 100/d.Width
+		for ; i+8 <= len(col); i += 8 {
+			r := base + int32(i)
+			for j := 0; j < 8; j++ {
+				v := col[i+j]
+				sel[k] = r + int32(j)
+				k += b2i(!(v < bound && (bound-v)*scale > vhi))
+			}
+		}
+		for ; i < len(col); i++ {
+			v := col[i]
+			sel[k] = base + int32(i)
+			k += b2i(!(v < bound && (bound-v)*scale > vhi))
+		}
+	case relq.SelectEQ:
+		bound, scale := d.Bound, 100/d.Width
+		for ; i < len(col); i++ {
+			sel[k] = base + int32(i)
+			k += b2i(!(math.Abs(col[i]-bound)*scale > vhi))
+		}
+	default:
+		for ; i < len(col); i++ {
+			sel[k] = base + int32(i)
+			k += b2i(!(d.Violation(col[i]) > vhi))
 		}
 	}
 	return sel[:k]
@@ -243,9 +364,7 @@ func filterSemi(sel []int32, vec []float64, coef float64, set *f64Set) []int32 {
 	k := 0
 	for _, r := range sel {
 		sel[k] = r
-		if set.contains(coef * vec[r]) {
-			k++
-		}
+		k += b2i(set.contains(coef * vec[r]))
 	}
 	return sel[:k]
 }

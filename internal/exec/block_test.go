@@ -130,12 +130,19 @@ func TestPruneIntervalConservative(t *testing.T) {
 	}
 	for di := range dims {
 		d := &dims[di]
-		for _, hi := range []float64{0, 7.3, 33.3, 99.9} {
-			lo, up := pruneInterval(d, hi)
-			for v := -50.0; v <= 250; v += 0.7 {
-				if d.Violation(v) <= hi && (v < lo || v > up) {
-					t.Fatalf("kind=%v hi=%v: qualifying value %v outside prune hull [%v, %v]",
-						d.Kind, hi, v, lo, up)
+		for _, ivLo := range []float64{0, 2.1, 15} {
+			for _, hi := range []float64{0, 7.3, 33.3, 99.9} {
+				if hi < ivLo {
+					continue
+				}
+				iv := relq.ViolInterval{Lo: ivLo, Hi: hi}
+				lo, up := pruneInterval(d, iv)
+				for v := -50.0; v <= 250; v += 0.7 {
+					viol := d.Violation(v)
+					if viol > iv.Lo && viol <= iv.Hi && (v < lo || v > up) {
+						t.Fatalf("kind=%v iv=(%v,%v]: qualifying value %v outside prune hull [%v, %v]",
+							d.Kind, iv.Lo, iv.Hi, v, lo, up)
+					}
 				}
 			}
 		}

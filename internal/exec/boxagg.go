@@ -17,6 +17,7 @@ type boxConstraint struct {
 	dim      *relq.Dimension
 	vec      []float64
 	di       int // query-dimension index (violation vector slot)
+	ord      int // column ordinal in the table (zone-map key)
 	pos      int // grid dimension
 	iv       relq.ViolInterval
 	val      index.Interval // admitted value interval (conservative)
@@ -74,7 +75,7 @@ func (e *Engine) boxAggregate(b *binding, region relq.Region, eo *engineObs) (ag
 			return agg.Zero(), false, nil
 		}
 		cons = append(cons, boxConstraint{
-			dim: sd.dim, vec: sd.vec, di: sd.di, pos: pos,
+			dim: sd.dim, vec: sd.vec, di: sd.di, ord: sd.ord, pos: pos,
 			iv: region[sd.di], val: ivs[0],
 		})
 	}
@@ -140,11 +141,33 @@ func (e *Engine) boxAggregate(b *binding, region relq.Region, eo *engineObs) (ag
 		}
 	}
 
+	// Zone predicates for boundary-cell posting runs: the same
+	// pruneInterval hulls the full scan uses, keyed by each constraint's
+	// column. Posting lists are ascending, so a cell's rows group into
+	// per-physical-block runs (Grid.PostingRuns) and a run whose block
+	// provably misses a hull is dropped without gathering a single row —
+	// sound here because the per-row keep test enforces both interval
+	// sides (v > iv.Lo && v <= iv.Hi), so every skipped row is one the
+	// filter would have rejected anyway. Only the vectorized branch
+	// consults them; the legacy per-row loop stays byte-for-byte put.
+	vecPath := !e.legacyScan.Load() && len(cons) == len(b.q.Dims)
+	var zps []zonePred
+	if vecPath {
+		for i := range cons {
+			zlo, zhi := pruneInterval(cons[i].dim, cons[i].iv)
+			if math.IsInf(zlo, -1) && math.IsInf(zhi, 1) {
+				continue
+			}
+			zm := e.zoneMapFor(b.tables[0], cons[i].ord, cons[i].vec)
+			zps = append(zps, zonePred{zm: zm, lo: zlo, hi: zhi})
+		}
+	}
+
 	// Walk the box in odometer order (deterministic): interior cells
 	// merge the stored partial; boundary cells scan their posting list
 	// with the exact per-row region check of the scan path.
 	out := agg.Zero()
-	var cellsMerged, boundaryRows int64
+	var cellsMerged, boundaryRows, runsSkipped int64
 	viol := make([]float64, len(b.q.Dims))
 	cur := make([]int, len(gridCols))
 	copy(cur, los)
@@ -171,25 +194,25 @@ func (e *Engine) boxAggregate(b *binding, region relq.Region, eo *engineObs) (ag
 					out = agg.Merge(out, agg.Partial{Count: cnt, Sum: sum, Min: mn, Max: mx})
 				}
 				cellsMerged++
+			} else if vecPath {
+				visited, skipped := boundaryCellVec(b, cons, zps, g, cell, &out)
+				boundaryRows += visited
+				runsSkipped += skipped
 			} else {
 				rows := g.PostingList(cell)
 				boundaryRows += int64(len(rows))
-				if !e.legacyScan.Load() && len(cons) == len(b.q.Dims) {
-					boundaryCellVec(b, cons, rows, &out)
-				} else {
-					for _, r := range rows {
-						for i := range cons {
-							viol[cons[i].di] = cons[i].dim.Violation(cons[i].vec[r])
-						}
-						if !region.Contains(viol) {
-							continue
-						}
-						v := 1.0
-						if b.aggTbl >= 0 {
-							v = b.aggVec[r]
-						}
-						b.spec.StepValue(&out, v)
+				for _, r := range rows {
+					for i := range cons {
+						viol[cons[i].di] = cons[i].dim.Violation(cons[i].vec[r])
 					}
+					if !region.Contains(viol) {
+						continue
+					}
+					v := 1.0
+					if b.aggTbl >= 0 {
+						v = b.aggVec[r]
+					}
+					b.spec.StepValue(&out, v)
 				}
 			}
 		}
@@ -207,29 +230,42 @@ func (e *Engine) boxAggregate(b *binding, region relq.Region, eo *engineObs) (ag
 		}
 	}
 
+	// RowsScanned/boundary_rows count only rows actually gathered; runs
+	// dropped by zone predicates surface as skipped blocks, mirroring
+	// the full-scan path's accounting.
 	e.countRows(boundaryRows)
 	e.countBoundaryRows(boundaryRows)
+	e.countBlocks(0, runsSkipped)
 	e.countCellsMerged(cellsMerged)
 	if eo != nil && eo.o.LogEnabled(slog.LevelDebug) {
 		eo.o.Debug("engine.boxagg", "table", b.q.Tables[0],
-			"cells_merged", cellsMerged, "boundary_rows", boundaryRows)
+			"cells_merged", cellsMerged, "boundary_rows", boundaryRows,
+			"boundary_runs_skipped", runsSkipped)
 	}
 	return out, true, nil
 }
 
 // boundaryCellVec folds one boundary cell's posting list block-style:
-// the selection vector is compacted one constraint at a time (keeping
-// rows with Violation in (iv.Lo, iv.Hi] — exactly the per-dimension
-// test region.Contains performs, and cons covers every query dimension
-// for eligible queries), and survivors step the aggregate in
-// posting-list order — the same StepValue sequence as the legacy
-// per-row loop.
-func boundaryCellVec(b *binding, cons []boxConstraint, rows []int32, out *agg.Partial) {
+// the ascending list is cut into per-physical-block runs, runs whose
+// block a zone predicate proves empty of qualifying rows are dropped
+// whole (each counted as one skipped block), and surviving runs compact
+// a selection vector one constraint at a time — keeping rows with
+// Violation in (iv.Lo, iv.Hi], exactly the per-dimension test
+// region.Contains performs, and cons covers every query dimension for
+// eligible queries. Skipped rows are rows that test would have rejected,
+// so survivors step the aggregate in posting-list order — the same
+// StepValue sequence as the legacy per-row loop, bit for bit.
+func boundaryCellVec(b *binding, cons []boxConstraint, zps []zonePred, g *index.Grid, cell int, out *agg.Partial) (visited, skipped int64) {
 	var buf [blockRows]int32
-	for blo := 0; blo < len(rows); blo += blockRows {
-		bhi := min(blo+blockRows, len(rows))
-		sel := buf[:bhi-blo]
-		copy(sel, rows[blo:bhi])
+	g.PostingRuns(cell, blockRows, func(bi int, rows []int32) {
+		if blockSkippable(zps, bi) {
+			skipped++
+			return
+		}
+		visited += int64(len(rows))
+		// A run never crosses a block, so it fits the block buffer.
+		sel := buf[:len(rows)]
+		copy(sel, rows)
 		for i := range cons {
 			if len(sel) == 0 {
 				break
@@ -239,9 +275,7 @@ func boundaryCellVec(b *binding, cons []boxConstraint, rows []int32, out *agg.Pa
 			for _, r := range sel {
 				v := c.dim.Violation(c.vec[r])
 				sel[k] = r
-				if v > c.iv.Lo && v <= c.iv.Hi {
-					k++
-				}
+				k += b2i(v > c.iv.Lo && v <= c.iv.Hi)
 			}
 			sel = sel[:k]
 		}
@@ -254,5 +288,6 @@ func boundaryCellVec(b *binding, cons []boxConstraint, rows []int32, out *agg.Pa
 				b.spec.StepValue(out, 1.0)
 			}
 		}
-	}
+	})
+	return visited, skipped
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -242,5 +243,80 @@ func TestBuildGridAggIdempotent(t *testing.T) {
 	}
 	if e.grid("users") == g1 {
 		t.Error("different-shape rebuild kept the old grid")
+	}
+}
+
+// TestBoundaryZoneSkip covers the zone-consulting boundary-cell walk:
+// on a clustered layout, a boundary cell's posting list is cut into
+// per-block runs and runs whose blocks provably miss the pruned value
+// hull are skipped outright. The walk must gather strictly fewer
+// posting rows than the legacy per-row walk (the saving BlocksSkipped
+// accounts for), while every partial stays bitwise identical — the
+// per-row keep test enforces both interval sides, so a skipped run
+// can only hold rows the filter would reject anyway.
+func TestBoundaryZoneSkip(t *testing.T) {
+	const n = 20 * blockRows
+	cat := clusteredCatalog(t, n) // events(val sorted 0..1000, spend)
+	e := New(cat)
+	// 8 bins over 20 blocks: each cell spans ~2.5 physical blocks, so a
+	// violation hull cutting mid-cell leaves whole out-of-range blocks
+	// inside boundary cells for the zone test to drop.
+	if err := e.BuildGridAggIndex("events", []string{"val"}, []string{"spend"}, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	dims := []relq.Dimension{{
+		Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "events", Column: "val"},
+		Bound: 200, Width: 300,
+	}}
+	queries := []*relq.Query{
+		{Tables: []string{"events"}, Dims: dims,
+			Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1}},
+		{Tables: []string{"events"}, Dims: dims,
+			Constraint: relq.Constraint{Func: relq.AggSum, Attr: relq.ColumnRef{Table: "events", Column: "spend"}, Op: relq.CmpEQ, Target: 1}},
+	}
+	// Bands with Lo > 0 exercise the two-sided hull; prefix regions the
+	// one-sided one.
+	regions := []relq.Region{
+		{{Lo: -1, Hi: 30}}, {{Lo: -1, Hi: 75}},
+		{{Lo: 10, Hi: 40}}, {{Lo: 33.3, Hi: 66.6}}, {{Lo: 0, Hi: 5}},
+	}
+
+	run := func(legacy bool) (parts []agg.Partial, d Stats) {
+		t.Helper()
+		e.SetLegacyScan(legacy)
+		defer e.SetLegacyScan(false)
+		before := e.Snapshot()
+		for _, q := range queries {
+			for _, region := range regions {
+				p, err := e.Aggregate(q, region)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts = append(parts, p)
+			}
+		}
+		return parts, e.Snapshot().Sub(before)
+	}
+
+	vecParts, vd := run(false)
+	legParts, ld := run(true)
+	for i := range vecParts {
+		exactEqual(t, fmt.Sprintf("boundary query %d", i), vecParts[i], legParts[i])
+	}
+
+	if vd.BoundaryRows == 0 || ld.BoundaryRows == 0 {
+		t.Fatalf("expected boundary-cell work on both walks: vec %+v, legacy %+v", vd, ld)
+	}
+	if vd.BlocksSkipped == 0 {
+		t.Fatalf("zone-consulting walk skipped no posting runs: %+v", vd)
+	}
+	if vd.BoundaryRows >= ld.BoundaryRows {
+		t.Fatalf("zone-consulting walk gathered %d boundary rows, legacy %d — expected a saving",
+			vd.BoundaryRows, ld.BoundaryRows)
+	}
+	// The kernel (not the scan) answered: cells merged on both walks.
+	if vd.CellsMerged == 0 || ld.CellsMerged == 0 {
+		t.Fatalf("grid kernel not engaged: vec %+v, legacy %+v", vd, ld)
 	}
 }

@@ -50,21 +50,24 @@ func (e *Engine) InvalidateRegionCache() {
 }
 
 // InvalidateTable drops every piece of derived state computed from a
-// table's contents: its cached column vectors, sorted indexes, grid
-// index, and the whole region cache (entries are keyed by fingerprint,
-// not table, so a per-table sweep is not possible). Call it after
-// replacing or rewriting a table in place — a mutation the row-count
-// generations cannot see. Pure appends need nothing: both the column
-// cache and the region-cache fingerprints carry row-count generations.
+// table's contents: its cached column vectors, sorted indexes, zone
+// maps, grid index, and the whole region cache (entries are keyed by
+// fingerprint, not table, so a per-table sweep is not possible). Call
+// it after rewriting a table's contents in place. Pure appends and
+// catalog Replaces need nothing: the column/sort/zone caches key on
+// table identity + row count, and the region-cache fingerprints carry
+// row-count generations. It also forgets the table's workload-derived
+// clustering statistics, so a replaced table re-learns its clustering
+// column from fresh traffic.
 func (e *Engine) InvalidateTable(table string) {
 	key := strings.ToLower(table)
+	e.wstats.forget(key)
 	e.mu.Lock()
 	for k := range e.colCache {
 		if k.table == key {
 			delete(e.colCache, k)
 		}
 	}
-	delete(e.cacheGen, key)
 	for k := range e.sortIdx {
 		if k.table == key {
 			delete(e.sortIdx, k)

@@ -66,6 +66,17 @@ type Stats struct {
 	// CacheEvictions counts entries displaced from the region cache by
 	// fills attributed to this engine.
 	CacheEvictions int64
+	// Resorts counts auto-clustering re-sorts: the workload-statistics
+	// policy picked a clustering column and rewrote the table layout.
+	Resorts int64
+	// TailMerges counts auto-clustering tail merges: the unsorted append
+	// tail of a clustered table was merged back into its sorted run.
+	TailMerges int64
+	// DegradedScans counts full scans over clustered tables whose
+	// unsorted append tail has outgrown the block size — the layout
+	// regime where zone maps still prune the sorted prefix but the tail
+	// blocks span the whole domain and are never skippable.
+	DegradedScans int64
 }
 
 // Sub returns the counter deltas s minus prev — the work performed
@@ -83,6 +94,9 @@ func (s Stats) Sub(prev Stats) Stats {
 		CacheHits:      s.CacheHits - prev.CacheHits,
 		CacheMisses:    s.CacheMisses - prev.CacheMisses,
 		CacheEvictions: s.CacheEvictions - prev.CacheEvictions,
+		Resorts:        s.Resorts - prev.Resorts,
+		TailMerges:     s.TailMerges - prev.TailMerges,
+		DegradedScans:  s.DegradedScans - prev.DegradedScans,
 	}
 }
 
@@ -102,6 +116,9 @@ type statsCells struct {
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	cacheEvictions atomic.Int64
+	resorts        atomic.Int64
+	tailMerges     atomic.Int64
+	degradedScans  atomic.Int64
 }
 
 // engineObs holds the pre-resolved observability handles of an
@@ -120,6 +137,9 @@ type engineObs struct {
 	cacheHits     *obs.Counter
 	cacheMisses   *obs.Counter
 	cacheEvict    *obs.Counter
+	resorts       *obs.Counter
+	tailMerges    *obs.Counter
+	degraded      *obs.Counter
 	queryDur      *obs.Histogram
 	selDensity    *obs.Histogram
 }
@@ -129,11 +149,10 @@ type Engine struct {
 	cat *data.Catalog
 
 	mu       sync.RWMutex
-	colCache map[colKey][]float64
-	cacheGen map[string]int // table -> row count at cache time
+	colCache map[colKey]colEntry
 	grids    map[string]*index.Grid
-	sortIdx  map[colKey]*sortedIdx
-	zones    map[colKey]*zoneMap
+	sortIdx  map[colKey]sortEntry
+	zones    map[colKey]zoneEntry
 
 	// legacyScan switches the row-at-a-time scan/join/finalize path
 	// back on (the vectorized block path is the default); it exists as
@@ -153,6 +172,17 @@ type Engine struct {
 	// regionCache memoizes per-region partials across searches and
 	// sessions (see cache.go); nil (the default) executes every region.
 	regionCache atomic.Pointer[regioncache.Cache]
+
+	// autoCluster enables the workload-adaptive clustering policy; see
+	// autocluster.go. wstats is its per-column touch/selectivity
+	// collector, fed by vscanTable and consulted by maybeAutoCluster at
+	// the end of each batch; sweepMu serializes layout rewrites.
+	autoCluster atomic.Bool
+	wstats      workloadStats
+	sweepMu     sync.Mutex
+	// ClusterPolicy overrides the auto-clustering thresholds; zero
+	// fields fall back to DefaultAutoClusterPolicy (see clusterPolicy).
+	ClusterPolicy AutoClusterPolicy
 }
 
 type colKey struct {
@@ -160,15 +190,39 @@ type colKey struct {
 	ord   int
 }
 
+// colEntry / sortEntry / zoneEntry are derived-state cache slots keyed
+// by *table identity*: a hit requires the exact *data.Table the entry
+// was built from (pointer equality) at the same row count. Row-count
+// generations alone cannot see a catalog Replace that keeps the row
+// count — exactly what an auto-clustering re-sort does — while pointer
+// identity retires such entries for free (the catalog hands out a new
+// *Table, so lookups against it miss and rebuild). In-place rewrites of
+// an existing table still require InvalidateTable, as before.
+type colEntry struct {
+	vec []float64
+	src *data.Table
+}
+
+type sortEntry struct {
+	idx *sortedIdx
+	src *data.Table
+	n   int // rows at build time
+}
+
+type zoneEntry struct {
+	zm  *zoneMap
+	src *data.Table
+	n   int // column length at build time
+}
+
 // New creates an engine over the catalog.
 func New(cat *data.Catalog) *Engine {
 	e := &Engine{
 		cat:             cat,
-		colCache:        make(map[colKey][]float64),
-		cacheGen:        make(map[string]int),
+		colCache:        make(map[colKey]colEntry),
 		grids:           make(map[string]*index.Grid),
-		sortIdx:         make(map[colKey]*sortedIdx),
-		zones:           make(map[colKey]*zoneMap),
+		sortIdx:         make(map[colKey]sortEntry),
+		zones:           make(map[colKey]zoneEntry),
 		MaxIntermediate: DefaultMaxIntermediate,
 	}
 	e.stats.Store(&statsCells{})
@@ -212,6 +266,9 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 		cacheHits:     o.Counter("acquire_cache_hits_total", "Region executions answered from the cross-search partial-aggregate cache."),
 		cacheMisses:   o.Counter("acquire_cache_misses_total", "Region executions that missed the cross-search partial-aggregate cache and executed."),
 		cacheEvict:    o.Counter("acquire_cache_evictions_total", "Entries displaced from the cross-search partial-aggregate cache by the byte cap."),
+		resorts:       o.Counter("acquire_autocluster_resorts_total", "Auto-clustering re-sorts: the workload policy rewrote a table layout around a learned clustering column."),
+		tailMerges:    o.Counter("acquire_autocluster_tail_merges_total", "Auto-clustering tail merges: a clustered table's unsorted append tail merged back into its sorted run."),
+		degraded:      o.Counter("acquire_engine_cluster_degraded_scans_total", "Full scans over clustered tables whose unsorted append tail exceeds one block (zone maps blind on the tail)."),
 		queryDur:      o.Histogram(`acquire_phase_duration_seconds{phase="evaluate"}`, "Duration of search/engine phases by phase name.", nil),
 		selDensity: o.Histogram("acquire_engine_selection_density",
 			"Post-filter selection-vector density per scanned block (kept rows / block rows).",
@@ -246,6 +303,9 @@ func (e *Engine) Snapshot() Stats {
 		CacheHits:      c.cacheHits.Load(),
 		CacheMisses:    c.cacheMisses.Load(),
 		CacheEvictions: c.cacheEvictions.Load(),
+		Resorts:        c.resorts.Load(),
+		TailMerges:     c.tailMerges.Load(),
+		DegradedScans:  c.degradedScans.Load(),
 	}
 }
 
@@ -320,6 +380,27 @@ func (e *Engine) countCacheEvictions(n int64) {
 	e.stats.Load().cacheEvictions.Add(n)
 	if eo := e.obsState.Load(); eo != nil {
 		eo.cacheEvict.Add(n)
+	}
+}
+
+func (e *Engine) countResorts(n int64) {
+	e.stats.Load().resorts.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.resorts.Add(n)
+	}
+}
+
+func (e *Engine) countTailMerges(n int64) {
+	e.stats.Load().tailMerges.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.tailMerges.Add(n)
+	}
+}
+
+func (e *Engine) countDegradedScans(n int64) {
+	e.stats.Load().degradedScans.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.degraded.Add(n)
 	}
 }
 

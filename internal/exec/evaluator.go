@@ -49,6 +49,13 @@ type Evaluator interface {
 	// operational escape hatch.
 	SetLegacyScan(on bool)
 
+	// SetAutoCluster(true) turns on workload-adaptive clustering: scans
+	// feed per-column range statistics and the engine re-sorts tables
+	// around the learned dominant column between batches (physical row
+	// ids of later ViolationScan/Materialize calls refer to the new
+	// layout; values and aggregates are unchanged).
+	SetAutoCluster(on bool)
+
 	// SetObserver attaches (nil detaches) an observer; Observer returns
 	// the current one (nil-safe for phase timing).
 	SetObserver(o *obs.Observer)

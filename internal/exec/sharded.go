@@ -150,6 +150,16 @@ func (sv *ShardedEvaluator) SetLegacyScan(on bool) {
 	}
 }
 
+// SetAutoCluster switches workload-adaptive clustering on every shard
+// engine. Each shard learns from its own scans and re-sorts its own
+// row range — shard catalogs are independent, so a re-sort never leaks
+// across shard boundaries and the fixed-order merge stays deterministic.
+func (sv *ShardedEvaluator) SetAutoCluster(on bool) {
+	for _, e := range sv.engines {
+		e.SetAutoCluster(on)
+	}
+}
+
 // Aggregate executes one region by serial scatter-gather (the oracle
 // path: shard engines bypass their region caches exactly as
 // Engine.Aggregate does).
@@ -364,6 +374,12 @@ func (sv *ShardedEvaluator) AggregateBatch(ctx context.Context, q *relq.Query, r
 			out[i] = agg.Merge(out[i], row[i])
 		}
 	}
+	// The scatter path dispatches to shard regionRunners directly, never
+	// through Engine.AggregateBatch, so the between-batches auto-cluster
+	// sweep must be invoked explicitly here.
+	for _, e := range sv.engines {
+		e.maybeAutoCluster()
+	}
 	return out, nil
 }
 
@@ -410,6 +426,9 @@ func (sv *ShardedEvaluator) Snapshot() Stats {
 		out.CacheHits += s.CacheHits
 		out.CacheMisses += s.CacheMisses
 		out.CacheEvictions += s.CacheEvictions
+		out.Resorts += s.Resorts
+		out.TailMerges += s.TailMerges
+		out.DegradedScans += s.DegradedScans
 	}
 	return out
 }

@@ -20,22 +20,22 @@ type sortedIdx struct {
 }
 
 // sortedIndex returns the cached sorted index for a column, building it
-// on first use.
+// on first use. Hits require the same *Table identity at the same row
+// count (see sortEntry): appends and same-size Replaces both miss.
 func (e *Engine) sortedIndex(t *data.Table, ord int) (*sortedIdx, error) {
 	key := colKey{table: strings.ToLower(t.Name()), ord: ord}
 	e.mu.RLock()
-	idx, ok := e.sortIdx[key]
-	gen := e.cacheGen[key.table]
+	ent, ok := e.sortIdx[key]
 	e.mu.RUnlock()
-	if ok && gen == t.NumRows() {
-		return idx, nil
+	if ok && ent.src == t && ent.n == t.NumRows() {
+		return ent.idx, nil
 	}
-	// Refresh through the column cache (also updates cacheGen).
+	// Refresh through the column cache.
 	vec, err := e.numericColumn(t, t.Schema().Columns[ord].Name)
 	if err != nil {
 		return nil, err
 	}
-	idx = &sortedIdx{
+	idx := &sortedIdx{
 		vals: make([]float64, len(vec)),
 		rows: make([]int32, len(vec)),
 	}
@@ -49,7 +49,7 @@ func (e *Engine) sortedIndex(t *data.Table, ord int) (*sortedIdx, error) {
 		idx.rows[i] = r
 	}
 	e.mu.Lock()
-	e.sortIdx[key] = idx
+	e.sortIdx[key] = sortEntry{idx: idx, src: t, n: t.NumRows()}
 	e.mu.Unlock()
 	return idx, nil
 }

@@ -3,6 +3,7 @@ package exec
 import (
 	"log/slog"
 	"math"
+	"strings"
 
 	"acquire/internal/agg"
 	"acquire/internal/data"
@@ -10,7 +11,7 @@ import (
 )
 
 // This file is the block-vectorized scan path — the default execution
-// mode. It produces candidate sets, join tuples and aggregates that are
+// mode. It produces surviving tuples and aggregates that are
 // bit-identical to the row-at-a-time legacy path (SetLegacyScan(true)):
 // access-path selection is shared code, blocks are visited in ascending
 // row order, filter chains keep exactly the rows the legacy verify loop
@@ -20,15 +21,25 @@ import (
 // compacted one predicate at a time, zone maps that skip blocks which
 // provably cannot contain a candidate, scan-level semi-join pushdown,
 // and pre-sized join hash tables.
+//
+// One nuance since two-sided pruneInterval hulls landed: on zone-pruned
+// full scans the candidate list may be a strict subset of the legacy
+// path's — blocks whose every row provably fails the region's *lower*
+// bound are dropped at scan time, where the legacy path carries such
+// rows until finalize rejects them per tuple. Surviving tuples, their
+// order, and every aggregate/violation bit are identical.
 
 // localDim is one select dimension local to the scanned table: rows
 // with Violation(v) > hi (the region's upper bound on the dimension)
 // cannot qualify anywhere in the region and are dropped at scan time.
+// lo carries the region's lower bound for zone-map pruning only — the
+// per-row filters never use it (finalize enforces it per tuple).
 type localDim struct {
 	dim *relq.Dimension
 	vec []float64
 	ord int
 	hi  float64
+	lo  float64
 }
 
 // localDimsFor collects table ti's local select dimensions.
@@ -36,7 +47,10 @@ func localDimsFor(b *binding, region relq.Region, ti int) []localDim {
 	var locals []localDim
 	for _, sd := range b.selDims {
 		if sd.tbl == ti {
-			locals = append(locals, localDim{dim: sd.dim, vec: sd.vec, ord: sd.ord, hi: region[sd.di].Hi})
+			locals = append(locals, localDim{
+				dim: sd.dim, vec: sd.vec, ord: sd.ord,
+				hi: region[sd.di].Hi, lo: region[sd.di].Lo,
+			})
 		}
 	}
 	return locals
@@ -122,7 +136,15 @@ type blockFilter struct {
 }
 
 func (f *blockFilter) apply(sel []int32) []int32 {
-	for i := range f.ranges {
+	return f.applySkip(sel, 0, 0)
+}
+
+// applySkip runs the chain with the first skipR range filters and
+// skipL local filters omitted (already applied by a dense kernel). The
+// chain is a conjunction of order-preserving filters, so the kept set
+// and its ascending order are independent of which predicate ran first.
+func (f *blockFilter) applySkip(sel []int32, skipR, skipL int) []int32 {
+	for i := skipR; i < len(f.ranges); i++ {
 		if len(sel) == 0 {
 			return sel
 		}
@@ -134,7 +156,7 @@ func (f *blockFilter) apply(sel []int32) []int32 {
 		}
 		sel = filterStringIn(sel, f.strs[i].vec, f.strs[i].set)
 	}
-	for i := range f.locals {
+	for i := skipL; i < len(f.locals); i++ {
 		if len(sel) == 0 {
 			return sel
 		}
@@ -144,6 +166,28 @@ func (f *blockFilter) apply(sel []int32) []int32 {
 		sel = filterSemi(sel, f.semi.vec, f.semi.coef, f.semi.set)
 	}
 	return sel
+}
+
+// applyDense filters the contiguous rows [lo, hi) of the table: the
+// first numeric predicate runs as a dense kernel straight over its
+// column stride (emitting row ids directly — no identity-fill +
+// gather round trip) and the rest compact the resulting selection
+// vector as usual. buf must have blockRows capacity.
+func (f *blockFilter) applyDense(buf []int32, lo, hi int) []int32 {
+	switch {
+	case len(f.ranges) > 0:
+		sel := filterRangeDense(buf, f.ranges[0].vec, lo, hi, f.ranges[0].lo, f.ranges[0].hi)
+		return f.applySkip(sel, 1, 0)
+	case len(f.locals) > 0:
+		sel := filterViolationDense(buf, f.locals[0].dim, f.locals[0].vec, lo, hi, f.locals[0].hi)
+		return f.applySkip(sel, 0, 1)
+	default:
+		sel := buf[:0]
+		for r := lo; r < hi; r++ {
+			sel = append(sel, int32(r))
+		}
+		return f.applySkip(sel, 0, 0)
+	}
 }
 
 // observeDensity records one block's post-filter selection density into
@@ -170,7 +214,7 @@ func (e *Engine) zonePreds(t *data.Table, f *blockFilter) []zonePred {
 	}
 	for i := range f.locals {
 		ld := &f.locals[i]
-		lo, hi := pruneInterval(ld.dim, ld.hi)
+		lo, hi := pruneInterval(ld.dim, relq.ViolInterval{Lo: ld.lo, Hi: ld.hi})
 		if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
 			continue
 		}
@@ -205,13 +249,27 @@ func (e *Engine) vscanTable(b *binding, region relq.Region, ti int, semi *semiPr
 			eo.o.Debug("engine.scan", "table", b.q.Tables[ti],
 				"rows", int64(len(candidates)), "full_scan", false)
 		}
-		return e.blockFilterRows(candidates, f, eo), nil
+		out := e.blockFilterRows(candidates, f, eo)
+		if e.autoCluster.Load() {
+			e.wstats.observe(tableKey(t), n, drives, len(out))
+		}
+		return out, nil
 	}
 
 	zps := e.zonePreds(t, f)
 	out, rowsScanned, blocksScanned, blocksSkipped := e.blockScan(n, zps, f, eo)
 	e.countRows(rowsScanned)
 	e.countBlocks(blocksScanned, blocksSkipped)
+	// A clustered table whose unsorted append tail has outgrown one
+	// block runs in a degraded regime: the sorted prefix still prunes
+	// but every tail block spans the whole domain. Surface it in stats
+	// instead of letting it look like silently-stale zone maps.
+	if t.ClusterTail() >= blockRows {
+		e.countDegradedScans(1)
+	}
+	if e.autoCluster.Load() {
+		e.wstats.observe(tableKey(t), n, drives, len(out))
+	}
 	if eo != nil && eo.o.LogEnabled(slog.LevelDebug) {
 		eo.o.Debug("engine.scan", "table", b.q.Tables[ti],
 			"rows", rowsScanned, "full_scan", true,
@@ -219,6 +277,9 @@ func (e *Engine) vscanTable(b *binding, region relq.Region, ti int, semi *semiPr
 	}
 	return out, nil
 }
+
+// tableKey is the canonical (lower-cased) catalog key of a table.
+func tableKey(t *data.Table) string { return strings.ToLower(t.Name()) }
 
 // blockScan runs the zone-pruned block scan over [0, n) in ascending
 // row order. Large tables fan blocks out to the worker pool in
@@ -274,11 +335,7 @@ func scanBlockRange(b0, b1, n int, zps []zonePred, f *blockFilter, eo *engineObs
 		}
 		scanned++
 		rows += int64(hi - lo)
-		sel := buf[:0]
-		for r := lo; r < hi; r++ {
-			sel = append(sel, int32(r))
-		}
-		sel = f.apply(sel)
+		sel := f.applyDense(buf[:0], lo, hi)
 		observeDensity(eo, len(sel), hi-lo)
 		out = append(out, sel...)
 	}

@@ -550,10 +550,11 @@ func TestSemiJoinPushdownEquivalence(t *testing.T) {
 	}
 }
 
-// TestVectorLegacyEquivalenceAfterMutation checks the zone-map
-// generation scheme: growing a table must invalidate its zone maps (via
-// cacheGen) so the vectorized path never prunes with stale block
-// bounds.
+// TestVectorLegacyEquivalenceAfterMutation checks zone-map retirement
+// under appends: growing a table changes its column lengths, so the
+// table-identity cache scheme (exact *Table pointer + matching length)
+// must miss and rebuild — the vectorized path never prunes with stale
+// block bounds.
 func TestVectorLegacyEquivalenceAfterMutation(t *testing.T) {
 	cat := clusteredCatalog(t, 4*blockRows)
 	vec := New(cat)
@@ -608,5 +609,133 @@ func TestVectorLegacyEquivalenceAfterMutation(t *testing.T) {
 	exactEqual(t, "post-mutation", pv2, pl2)
 	if pv2.Count <= pv.Count {
 		t.Fatalf("appended qualifying rows must grow the count: %d -> %d", pv.Count, pv2.Count)
+	}
+}
+
+// TestZoneMapRetirementSharded is the mutate-then-scan sweep of the
+// derived-state retirement story at shard counts 1-16: each round
+// mutates the fact table a different way — sub-block append, block-
+// sized append, and a same-size catalog Replace (an auto-clustering
+// style re-sort, where only the *Table identity changes, not the row
+// count) — then re-scans through InvalidateTable. The vectorized
+// sharded evaluator must stay bit-identical to its legacy twin after
+// every round; a stale zone map, column vector, or sorted index from a
+// previous generation shows up here as a pruned qualifying row.
+func TestZoneMapRetirementSharded(t *testing.T) {
+	q := &relq.Query{
+		Tables: []string{"events"},
+		Dims: []relq.Dimension{
+			{Kind: relq.SelectLE, Col: relq.ColumnRef{Table: "events", Column: "spend"}, Bound: 20, Width: 30},
+		},
+		Fixed: []relq.FixedPred{
+			{Kind: relq.FixedRange, Col: relq.ColumnRef{Table: "events", Column: "val"}, Lo: 0, Hi: 600},
+		},
+		Constraint: relq.Constraint{Func: relq.AggCount, Op: relq.CmpEQ, Target: 1},
+	}
+	regions := []relq.Region{
+		relq.PrefixRegion([]float64{0}),
+		relq.PrefixRegion([]float64{50}),
+		relq.PrefixRegion([]float64{100}),
+	}
+
+	for _, shards := range []int{1, 2, 3, 5, 8, 16} {
+		cat := clusteredCatalog(t, 4*blockRows)
+		vec, err := NewShardedOn(cat, "events", shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leg, err := NewShardedOn(cat, "events", shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leg.SetLegacyScan(true)
+
+		compare := func(round string) []agg.Partial {
+			t.Helper()
+			got, err := vec.AggregateBatch(context.Background(), q, regions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := leg.AggregateBatch(context.Background(), q, regions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				exactEqual(t, fmt.Sprintf("shards=%d %s region %d", shards, round, i), got[i], want[i])
+			}
+			return got
+		}
+		invalidate := func() {
+			vec.InvalidateTable("events")
+			leg.InvalidateTable("events")
+		}
+
+		base := compare("baseline")
+		tbl, err := cat.Table("events")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Round 1: sub-block append — the tail block's bounds change
+		// without adding a full new block.
+		for i := 0; i < 7; i++ {
+			if err := tbl.AppendRow(data.FloatValue(300), data.FloatValue(5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		invalidate()
+		r1 := compare("sub-block append")
+		if r1[2].Count != base[2].Count+7 {
+			t.Fatalf("shards=%d: sub-block append: count %d -> %d, want +7",
+				shards, base[2].Count, r1[2].Count)
+		}
+
+		// Round 2: block-sized append — new blocks appear whose rows a
+		// stale zone map generation would never have covered.
+		for i := 0; i < blockRows+11; i++ {
+			if err := tbl.AppendRow(data.FloatValue(300), data.FloatValue(5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		invalidate()
+		r2 := compare("block append")
+		if r2[2].Count != r1[2].Count+blockRows+11 {
+			t.Fatalf("shards=%d: block append: count %d -> %d, want +%d",
+				shards, r1[2].Count, r2[2].Count, blockRows+11)
+		}
+
+		// Round 3: same-size Replace — a re-sorted copy swaps in with an
+		// unchanged row count, so only table identity distinguishes the
+		// new layout from the old (the scheme an auto-clustering re-sort
+		// retires caches through).
+		sorted, err := data.SortedBy(tbl, "val")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.Replace(sorted)
+		invalidate()
+		r3 := compare("same-size replace")
+		if r3[2].Count != r2[2].Count {
+			t.Fatalf("shards=%d: replace changed the count: %d -> %d",
+				shards, r2[2].Count, r3[2].Count)
+		}
+
+		// Round 4: append onto the replaced generation, out of sorted
+		// order, to confirm the new generation's tail retires too.
+		sorted2, err := cat.Table("events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 13; i++ {
+			if err := sorted2.AppendRow(data.FloatValue(1), data.FloatValue(2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		invalidate()
+		r4 := compare("post-replace append")
+		if r4[2].Count != r3[2].Count+13 {
+			t.Fatalf("shards=%d: post-replace append: count %d -> %d, want +13",
+				shards, r3[2].Count, r4[2].Count)
+		}
 	}
 }

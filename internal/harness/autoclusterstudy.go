@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"acquire/internal/agg"
+	"acquire/internal/data"
+	"acquire/internal/exec"
+	"acquire/internal/index"
+	"acquire/internal/relq"
+	"acquire/internal/tpch"
+	"acquire/internal/workload"
+)
+
+// AutoClusterWarmupBatches bounds how many warmup batches the auto-
+// clustered engine gets to learn its clustering column before the study
+// gives up waiting for a re-sort.
+var AutoClusterWarmupBatches = 40
+
+// AutoClusterStudy measures workload-adaptive clustering on the
+// Figure 8 users workload: three engines over identical data run the
+// same prefix-region batch —
+//
+//   - "plain": generator layout, no clustering of any kind (the
+//     baseline whose zone maps never fire);
+//   - "auto": no -cluster column given; the engine learns the dominant
+//     range column from its own scans and re-sorts between batches
+//     (SetAutoCluster). The study drives warmup batches until the first
+//     re-sort lands, then measures steady state;
+//   - "explicit": the PR 8 configuration, cfg.Cluster (default "age")
+//     sorted up front — the target the learned layout must match.
+//
+// All three must produce identical partials (COUNT is integer-exact, so
+// equality is bit-level). Timing is interleaved min-of-rounds. A final
+// section rebuilds the auto engine's steady-state layout with an
+// aggregate grid and compares boundary-cell row gathering between the
+// legacy walk (every posting row) and the zone-consulting vectorized
+// walk, which skips whole posting runs.
+//
+// With cfg.Obs attached the study publishes the CI-guarded gauges:
+// acquire_autocluster_speedup (plain/auto steady-state ratio),
+// acquire_autocluster_vs_explicit (auto/explicit ratio — 1.0 means the
+// learned layout matches the hand-picked one), and
+// acquire_autocluster_blocks_skipped (zone-skipped blocks per steady
+// auto batch — the engagement proof that needs no -cluster flag).
+func AutoClusterStudy(ctx context.Context, cfg Config) ([]Figure, error) {
+	cfg = cfg.WithDefaults()
+	cluster := cfg.Cluster
+	if cluster == "" {
+		cluster = "age"
+	}
+
+	// Three independent catalogs of identical data: each variant owns
+	// its layout (the auto engine rewrites its own catalog in place).
+	newCat := func() (*data.Catalog, error) {
+		return tpch.GenerateUsers(tpch.UsersConfig{Rows: cfg.Rows, Zipf: cfg.Zipf, Seed: cfg.Seed})
+	}
+	pcat, err := newCat()
+	if err != nil {
+		return nil, err
+	}
+	acat, err := newCat()
+	if err != nil {
+		return nil, err
+	}
+	ccat, err := newCat()
+	if err != nil {
+		return nil, err
+	}
+
+	// Region caches stay off: the study repeats one batch, and a cache
+	// would collapse every repeat into hits — no scans, no statistics,
+	// no timing signal.
+	pe, err := newEngine(pcat, Config{Obs: cfg.Obs})
+	if err != nil {
+		return nil, err
+	}
+	ae, err := newEngine(acat, Config{Obs: cfg.Obs, AutoCluster: true})
+	if err != nil {
+		return nil, err
+	}
+	ce, err := newEngine(ccat, Config{Obs: cfg.Obs, Cluster: cluster})
+	if err != nil {
+		return nil, err
+	}
+
+	q, err := workload.BuildCalibrated(pe, workload.Spec{
+		Kind: workload.Users, Dims: 3, Agg: relq.AggCount, Ratio: 0.3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var regions []relq.Region
+	for i := 0; i < 8; i++ {
+		h := 10 + float64(i)*8
+		regions = append(regions, relq.Region{{Lo: -1, Hi: h}, {Lo: -1, Hi: 70 - h/2}, {Lo: -1, Hi: h}})
+	}
+
+	// Correctness gate: identical partials from all three layouts.
+	want, err := pe.AggregateBatch(ctx, q, regions)
+	if err != nil {
+		return nil, err
+	}
+	check := func(name string, e exec.Evaluator) error {
+		got, err := e.AggregateBatch(ctx, q, regions)
+		if err != nil {
+			return err
+		}
+		for i := range got {
+			if got[i].Count != want[i].Count || !agg.ApproxEqual(got[i], want[i], 0) {
+				return fmt.Errorf("autocluster: %s region %d diverged: %+v vs plain %+v",
+					name, i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	if err := check("explicit", ce); err != nil {
+		return nil, err
+	}
+
+	// Warmup: drive batches through the auto engine until the first
+	// re-sort lands (each also re-checks the partials — a re-sort must
+	// never change an answer). warmRows records per-batch scan cost so
+	// the convergence figure shows the drop.
+	var warmRows []float64
+	firstResort := -1
+	for batch := 1; batch <= AutoClusterWarmupBatches; batch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		before := ae.Snapshot()
+		if err := check("auto", ae); err != nil {
+			return nil, err
+		}
+		d := ae.Snapshot().Sub(before)
+		warmRows = append(warmRows, float64(d.RowsScanned))
+		if firstResort < 0 && ae.Snapshot().Resorts >= 1 {
+			firstResort = batch
+		}
+		if firstResort > 0 && batch >= firstResort+2 {
+			break // steady state reached; a couple of settled batches recorded
+		}
+	}
+
+	// Steady-state timing: interleaved min-of-rounds over the three
+	// variants, plus per-batch stats deltas from one extra counted run.
+	type variant struct {
+		name string
+		e    exec.Evaluator
+	}
+	vars := []variant{{"plain", pe}, {"auto", ae}, {"explicit", ce}}
+	best := make([]time.Duration, len(vars))
+	for i := range best {
+		best[i] = 1<<63 - 1
+	}
+	for round := 0; round < ScanStudyRounds; round++ {
+		for vi := range vars {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := vars[vi].e.AggregateBatch(ctx, q, regions); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); d < best[vi] {
+				best[vi] = d
+			}
+		}
+	}
+	millis := make([]float64, len(vars))
+	rows := make([]float64, len(vars))
+	skipped := make([]float64, len(vars))
+	for vi := range vars {
+		millis[vi] = float64(best[vi].Microseconds()) / 1000
+		before := vars[vi].e.Snapshot()
+		if _, err := vars[vi].e.AggregateBatch(ctx, q, regions); err != nil {
+			return nil, err
+		}
+		d := vars[vi].e.Snapshot().Sub(before)
+		rows[vi] = float64(d.RowsScanned)
+		skipped[vi] = float64(d.BlocksSkipped)
+	}
+
+	// Boundary-cell section: the auto engine's steady-state layout gets
+	// an aggregate grid over the query's select dimensions; the same
+	// batch is run on the vectorized walk (posting runs consulted
+	// against zone maps) and the legacy walk (every posting row), and
+	// boundary row gathering is compared. Partials must stay identical.
+	var dimCols []string
+	for i := range q.Dims {
+		if q.Dims[i].Kind != relq.JoinBand {
+			dimCols = append(dimCols, q.Dims[i].Col.Column)
+		}
+	}
+	t, err := ae.Catalog().Table(q.Tables[0])
+	if err != nil {
+		return nil, err
+	}
+	bins := index.BinsForRows(len(dimCols), t.NumRows())
+	if err := ae.BuildGridAggIndex(q.Tables[0], dimCols, nil, bins); err != nil {
+		return nil, err
+	}
+	boundary := func(legacy bool) (float64, float64, error) {
+		ae.SetLegacyScan(legacy)
+		defer ae.SetLegacyScan(false)
+		before := ae.Snapshot()
+		if err := check("auto+gridagg", ae); err != nil {
+			return 0, 0, err
+		}
+		d := ae.Snapshot().Sub(before)
+		return float64(d.BoundaryRows), float64(d.BlocksSkipped), nil
+	}
+	vecBoundary, vecRunsSkipped, err := boundary(false)
+	if err != nil {
+		return nil, err
+	}
+	legBoundary, _, err := boundary(true)
+	if err != nil {
+		return nil, err
+	}
+	ae.DropGridIndex(q.Tables[0])
+
+	ratio := func(num, den float64) float64 {
+		if den <= 0 {
+			return 1
+		}
+		return num / den
+	}
+	speedup := ratio(millis[0], millis[1])    // plain / auto
+	vsExplicit := ratio(millis[1], millis[2]) // auto / explicit
+	if cfg.Obs != nil {
+		cfg.Obs.Gauge("acquire_autocluster_speedup",
+			"Plain-layout / auto-clustered steady-state wall-clock ratio of the fig. 8 batch (AutoClusterStudy).").Set(speedup)
+		cfg.Obs.Gauge("acquire_autocluster_vs_explicit",
+			"Auto-clustered / explicitly-clustered steady-state wall-clock ratio — 1.0 means the learned layout matches -cluster (AutoClusterStudy).").Set(vsExplicit)
+		cfg.Obs.Gauge("acquire_autocluster_blocks_skipped",
+			"Zone-skipped blocks per steady-state batch on the auto-clustered engine — engagement proof without any -cluster flag (AutoClusterStudy).").Set(skipped[1])
+		cfg.Obs.Gauge("acquire_autocluster_boundary_rows_saved",
+			"Boundary posting rows the zone-consulting walk avoided gathering vs the legacy walk on one gridagg batch (AutoClusterStudy).").Set(legBoundary - vecBoundary)
+	}
+
+	x := []float64{1, 2, 3} // 1 = plain, 2 = auto, 3 = explicit
+	warmX := make([]float64, len(warmRows))
+	for i := range warmX {
+		warmX[i] = float64(i + 1)
+	}
+	return []Figure{
+		{ID: "autocluster.batch", Title: "Steady-state AggregateBatch wall-clock: plain vs auto-clustered vs explicit -cluster (min of rounds)",
+			XLabel: "layout (1=plain, 2=auto, 3=explicit)", X: x, YLabel: "ms/batch", Series: []Series{
+				{Name: "ms", Y: millis},
+				{Name: "speedup_vs_plain", Y: []float64{1, speedup, ratio(millis[0], millis[2])}},
+			}},
+		{ID: "autocluster.rows", Title: "Rows scanned and blocks zone-skipped per steady-state batch",
+			XLabel: "layout (1=plain, 2=auto, 3=explicit)", X: x, YLabel: "count", Series: []Series{
+				{Name: "rows_scanned", Y: rows},
+				{Name: "blocks_skipped", Y: skipped},
+			}},
+		{ID: "autocluster.converge", Title: fmt.Sprintf("Auto-clustering convergence: rows scanned per warmup batch (first re-sort after batch %d)", firstResort),
+			XLabel: "warmup batch", X: warmX, YLabel: "rows scanned", Series: []Series{
+				{Name: "auto", Y: warmRows},
+			}},
+		{ID: "autocluster.boundary", Title: "Boundary-cell posting rows gathered per gridagg batch: legacy walk vs zone-consulting walk",
+			XLabel: "walk (1=legacy, 2=vectorized)", X: []float64{1, 2}, YLabel: "boundary rows", Series: []Series{
+				{Name: "boundary_rows", Y: []float64{legBoundary, vecBoundary}},
+				{Name: "posting_runs_skipped", Y: []float64{0, vecRunsSkipped}},
+			}},
+	}, nil
+}

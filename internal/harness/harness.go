@@ -67,6 +67,12 @@ type Config struct {
 	// the generators' i.i.d. layouts every block spans the full value
 	// domain and zone maps never fire.
 	Cluster string
+	// AutoCluster enables workload-adaptive clustering on every engine
+	// the harness builds (-autocluster): instead of a user-designated
+	// -cluster column, the engine learns the workload's dominant range
+	// column from its own scans and re-sorts the table between batches,
+	// after which zone maps engage exactly as under -cluster.
+	AutoCluster bool
 	// Obs instruments every engine and search the harness builds
 	// (metrics, phase spans, events); nil runs uninstrumented. Excluded
 	// from results JSON — it is a live handle, not a parameter.
@@ -193,6 +199,9 @@ func newEngine(cat *data.Catalog, cfg Config) (exec.Evaluator, error) {
 	e.SetObserver(cfg.Obs)
 	if cfg.CacheMB > 0 {
 		e.EnableRegionCache(int64(cfg.CacheMB) << 20)
+	}
+	if cfg.AutoCluster {
+		e.SetAutoCluster(true)
 	}
 	return e, nil
 }

@@ -1,0 +1,53 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPostingRuns checks the run-cutting contract the boundary-cell
+// zone-skipping walk relies on: for every cell, the emitted runs
+// concatenate back to the exact posting list, each run is non-empty and
+// stays within one physical block, and block indices strictly increase
+// (runs are maximal, and posting lists are ascending).
+func TestPostingRuns(t *testing.T) {
+	rows := randAggRows(5000, 42)
+	tbl := buildAggTable(t, rows)
+	g, err := BuildAgg(tbl, []string{"x", "y"}, []string{"v"}, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, rowsPerBlock := range []int{1, 7, 64, 1024, 1 << 20} {
+		for cell := 0; cell < g.NumCells(); cell++ {
+			want := g.PostingList(cell)
+			var got []int32
+			lastBlock := -1
+			g.PostingRuns(cell, rowsPerBlock, func(block int, run []int32) {
+				if len(run) == 0 {
+					t.Fatalf("rpb=%d cell %d: empty run for block %d", rowsPerBlock, cell, block)
+				}
+				if block <= lastBlock {
+					t.Fatalf("rpb=%d cell %d: block %d after %d (runs must be maximal and ascending)",
+						rowsPerBlock, cell, block, lastBlock)
+				}
+				lastBlock = block
+				for _, r := range run {
+					if int(r)/rowsPerBlock != block {
+						t.Fatalf("rpb=%d cell %d: row %d reported in block %d", rowsPerBlock, cell, r, block)
+					}
+				}
+				got = append(got, run...)
+			})
+			if len(want) == 0 {
+				if got != nil {
+					t.Fatalf("rpb=%d cell %d: runs emitted for empty posting list", rowsPerBlock, cell)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("rpb=%d cell %d: runs concatenate to %v, want %v", rowsPerBlock, cell, got, want)
+			}
+		}
+	}
+}
