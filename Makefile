@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-obs vet profile
+.PHONY: build test race bench bench-json bench-check bench-obs vet profile
 
 build:
 	$(GO) build ./...
@@ -21,12 +21,14 @@ bench:
 	$(GO) test -run xxx -bench=. -benchmem .
 
 # Machine-readable baselines: the fig. 8 ratio sweep, the cached
-# repeated-workload study, the shard sweep and the scan-path study —
-# figures, config and the metric registry snapshot in one JSON file
-# each. The committed BENCH_baseline.json, BENCH_cache.json,
-# BENCH_shards.json and BENCH_scan.json are the reference artifacts;
-# regenerate after a perf-relevant change and compare before
-# committing.
+# repeated-workload study, the shard sweep, the scan-path study and the
+# clustering studies — figures, config and the metric registry snapshot
+# in one JSON file each. The committed BENCH_*.json files are the
+# reference artifacts; regenerate after a perf-relevant change and
+# compare before committing. Every write goes through schema validation
+# (harness.ValidateResults) plus a temp-file rename, and the final
+# bench-check pass re-validates the files on disk, so a failed run can
+# never leave a malformed or truncated artifact behind.
 bench-json:
 	$(GO) run ./cmd/acqbench -experiment fig8 -rows 20000 -json BENCH_baseline.json
 	$(GO) test -run xxx -bench BenchmarkRepeatedWorkload -benchtime 1x .
@@ -34,6 +36,13 @@ bench-json:
 	$(GO) run ./cmd/acqbench -experiment shards -rows 100000 -json BENCH_shards.json
 	$(GO) run ./cmd/acqbench -experiment scan -rows 20000 -json BENCH_scan.json
 	$(GO) run ./cmd/acqbench -experiment autocluster -rows 20000 -json BENCH_autocluster.json
+	$(GO) run ./cmd/acqbench -experiment zorder -rows 20000 -json BENCH_zorder.json
+	$(GO) run ./cmd/benchcheck BENCH_*.json
+
+# Validate the committed benchmark artifacts against the harness
+# results schema without regenerating them.
+bench-check:
+	$(GO) run ./cmd/benchcheck BENCH_*.json
 
 # Metrics-overhead guard: the exploration sweep bare vs with a live
 # registry/observer attached. The two ns/op columns should be within

@@ -184,6 +184,9 @@ type Session struct {
 	// autoCluster mirrors the engines' workload-adaptive clustering
 	// switch, so EnableSharding can carry it onto fresh shard engines.
 	autoCluster bool
+	// zorder mirrors the engines' Z-order layout admission, carried onto
+	// fresh shard engines the same way.
+	zorder bool
 }
 
 // NewSession creates an empty session; load tables with LoadCSV or
@@ -299,6 +302,9 @@ func (s *Session) EnableSharding(n int) error {
 	if s.autoCluster {
 		sv.SetAutoCluster(true)
 	}
+	if s.zorder {
+		sv.SetZOrder(true)
+	}
 	wasExact := s.usingExact()
 	s.sharded = sv
 	if wasExact {
@@ -374,6 +380,31 @@ func (s *Session) DisableAutoCluster() {
 	s.eng.SetAutoCluster(false)
 	if s.sharded != nil {
 		s.sharded.SetAutoCluster(false)
+	}
+}
+
+// EnableZOrder admits two-column Z-order (space-filling-curve) layouts
+// into the auto-clustering election on the session's exact engines:
+// when two range columns both carry workload weight, a table may be
+// re-laid along their interleaved rank curve so zone maps prune on both
+// axes. No-op unless auto-clustering is also enabled (EnableAutoCluster
+// or the engine policy).
+func (s *Session) EnableZOrder() {
+	s.zorder = true
+	s.eng.SetZOrder(true)
+	if s.sharded != nil {
+		s.sharded.SetZOrder(true)
+	}
+}
+
+// DisableZOrder removes Z-order layouts from future elections; a table
+// already interleaved keeps its layout until a single-column challenger
+// beats it through the usual hysteresis and payback gates.
+func (s *Session) DisableZOrder() {
+	s.zorder = false
+	s.eng.SetZOrder(false)
+	if s.sharded != nil {
+		s.sharded.SetZOrder(false)
 	}
 }
 

@@ -80,6 +80,9 @@ var experiments = []experiment{
 	{"autocluster", "workload-adaptive clustering study: plain vs learned vs explicit -cluster layouts on the fig. 8 workload", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
 		return harness.AutoClusterStudy(ctx, c)
 	}},
+	{"zorder", "multi-dimensional skipping study: single-column vs Z-order auto-clustering on a two-range-axis workload, plus re-sort scheduling and per-shard divergence", func(ctx context.Context, c harness.Config, _ []int) ([]harness.Figure, error) {
+		return harness.ZOrderStudy(ctx, c)
+	}},
 }
 
 func main() {
@@ -114,6 +117,7 @@ func run(ctx context.Context, args []string) error {
 		shards  = fs.Int("shards", 1, "run harness engines as a ShardedEvaluator over N range-partitioned shards")
 		cluster = fs.String("cluster", "", "re-sort generated tables by this numeric column before building engines (engages the vectorized path's zone maps)")
 		autoCl  = fs.Bool("autocluster", false, "enable workload-adaptive clustering: engines learn the dominant range column from their own scans and re-sort between batches")
+		zorder  = fs.Bool("zorder", false, "with -autocluster: admit two-column Z-order layouts so zone maps prune on both range axes (implies -autocluster)")
 		cacheMB = fs.Int("cache-mb", 64, "region cache capacity in MiB (with -cache)")
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/traces on this address while experiments run")
 		logJSON = fs.Bool("log-json", false, "emit structured search/engine events as JSON on stderr")
@@ -128,7 +132,7 @@ func run(ctx context.Context, args []string) error {
 	cfg := harness.Config{
 		Rows: *rows, Seed: *seed, Delta: *delta, Gamma: *gamma,
 		TQGenGridK: *gridK, TQGenRounds: *rounds, GridAgg: *gridAgg,
-		Shards: *shards, Cluster: *cluster, AutoCluster: *autoCl,
+		Shards: *shards, Cluster: *cluster, AutoCluster: *autoCl, ZOrder: *zorder,
 	}
 	if *cache {
 		cfg.CacheMB = *cacheMB
@@ -192,12 +196,25 @@ func run(ctx context.Context, args []string) error {
 		if *jsonOut == "" {
 			return nil
 		}
-		f, err := os.Create(*jsonOut)
+		// Write-validate-rename: WriteResults schema-checks the payload
+		// before a byte lands, and the rename is atomic, so a failed or
+		// interrupted run can never clobber a committed BENCH_*.json
+		// with a truncated or malformed artifact.
+		tmp := *jsonOut + ".tmp"
+		f, err := os.Create(tmp)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return harness.WriteResults(f, cfg, figs)
+		if err := harness.WriteResults(f, cfg, figs); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return os.Rename(tmp, *jsonOut)
 	}
 
 	if *expName == "table1" || *expName == "all" {

@@ -1,0 +1,52 @@
+// Command benchcheck validates committed benchmark artifacts
+// (BENCH_*.json) against the schema the harness writes: a real
+// generation timestamp, unique non-empty figure IDs, series lengths
+// matching their X axes, and finite numbers throughout. It shares
+// harness.ValidateResults with acqbench's write path, so the files in
+// the repo are held to exactly the invariants a fresh run must satisfy
+// before it may overwrite them.
+//
+//	benchcheck BENCH_*.json
+//	benchcheck                 # defaults to ./BENCH_*.json
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"acquire/internal/harness"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		matches, err := filepath.Glob("BENCH_*.json")
+		if err != nil || len(matches) == 0 {
+			fmt.Fprintln(os.Stderr, "benchcheck: no BENCH_*.json files found")
+			os.Exit(1)
+		}
+		args = matches
+	}
+	bad := 0
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			bad++
+			continue
+		}
+		r, err := harness.ReadResults(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Printf("benchcheck: %s: ok (%d figures, %d metrics, generated %s)\n",
+			path, len(r.Figures), len(r.Metrics), r.GeneratedAt.Format("2006-01-02"))
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

@@ -36,7 +36,7 @@ func SortedBy(t *Table, column string) (*Table, error) {
 	})
 
 	out := permuted(t, perm)
-	out.clusterCol = t.schema.Columns[ord].Name
+	out.clusterCols = []string{t.schema.Columns[ord].Name}
 	out.sortedRows = out.rows
 	return out, nil
 }
@@ -46,23 +46,22 @@ func SortedBy(t *Table, column string) (*Table, error) {
 // key and two-run merged with the existing prefix, O(n + k log k) for a
 // k-row tail instead of a full re-sort. Row order among equal keys is
 // the stable one (prefix rows before tail rows, each in original
-// order), so the result is bitwise identical to SortedBy over the same
-// rows. It is an error to call this on an unclustered table; a table
-// with no tail is returned unchanged.
+// order), so a single-column merge is bitwise identical to SortedBy
+// over the same rows, and a Z-order merge is bitwise identical to a
+// stable re-sort by the frozen-cut curve keys (the cuts are not
+// re-derived — sound for pruning, since zone maps summarize values,
+// not keys). It is an error to call this on an unclustered table; a
+// table with no tail is returned unchanged.
 func MergeClusteredTail(t *Table) (*Table, error) {
-	if t.clusterCol == "" {
+	if len(t.clusterCols) == 0 {
 		return nil, fmt.Errorf("data: table %s is not clustered", t.name)
 	}
 	if t.sortedRows >= t.rows {
 		return t, nil
 	}
-	ord := t.schema.Ordinal(t.clusterCol)
-	if ord < 0 {
-		return nil, fmt.Errorf("data: table %s lost cluster column %q", t.name, t.clusterCol)
-	}
-	key, err := t.NumericColumn(ord)
+	rowLess, err := t.clusterLess()
 	if err != nil {
-		return nil, fmt.Errorf("data: cluster column must be numeric: %w", err)
+		return nil, err
 	}
 
 	s := t.sortedRows
@@ -71,7 +70,7 @@ func MergeClusteredTail(t *Table) (*Table, error) {
 		tail[i] = s + i
 	}
 	sort.SliceStable(tail, func(a, b int) bool {
-		return keyLess(key[tail[a]], key[tail[b]])
+		return rowLess(tail[a], tail[b])
 	})
 
 	perm := make([]int, 0, t.rows)
@@ -79,7 +78,7 @@ func MergeClusteredTail(t *Table) (*Table, error) {
 	for i < s && j < len(tail) {
 		// Prefix wins ties: prefix rows precede tail rows in the
 		// original order, which is what stability requires.
-		if keyLess(key[tail[j]], key[i]) {
+		if rowLess(tail[j], i) {
 			perm = append(perm, tail[j])
 			j++
 		} else {
@@ -93,9 +92,33 @@ func MergeClusteredTail(t *Table) (*Table, error) {
 	perm = append(perm, tail[j:]...)
 
 	out := permuted(t, perm)
-	out.clusterCol = t.clusterCol
+	out.clusterCols = t.clusterCols
+	out.zcuts = t.zcuts
 	out.sortedRows = out.rows
 	return out, nil
+}
+
+// clusterLess returns the row comparator of the table's current
+// clustering key: the column value (NaNs last) for single-column
+// layouts, the Z-order curve key recomputed from the frozen quantizer
+// cuts for interleaved ones.
+func (t *Table) clusterLess() (func(a, b int) bool, error) {
+	if len(t.clusterCols) == 1 {
+		ord := t.schema.Ordinal(t.clusterCols[0])
+		if ord < 0 {
+			return nil, fmt.Errorf("data: table %s lost cluster column %q", t.name, t.clusterCols[0])
+		}
+		key, err := t.NumericColumn(ord)
+		if err != nil {
+			return nil, fmt.Errorf("data: cluster column must be numeric: %w", err)
+		}
+		return func(a, b int) bool { return keyLess(key[a], key[b]) }, nil
+	}
+	keys, err := zorderKeys(t, t.clusterCols, t.zcuts)
+	if err != nil {
+		return nil, err
+	}
+	return func(a, b int) bool { return keys[a] < keys[b] }, nil
 }
 
 // keyLess is the clustering comparator: ascending, NaNs last.

@@ -1,0 +1,192 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Z-order (Morton-curve) clustering: two numeric columns are rank-
+// quantized against per-column quantile cut points and their ranks are
+// bit-interleaved into one uint64 sort key. Sorting by that key lays
+// rows out along a space-filling curve, so *both* columns become
+// piecewise-clustered: each 1024-row block covers a small rectangle of
+// the two-dimensional rank space, and a range predicate on either
+// column (or both) prunes blocks via the ordinary per-column zone
+// maps. No scan-side code needs to know about the curve — zone-map
+// soundness depends only on actual per-block min/max values, never on
+// how the layout was produced.
+//
+// Rank quantization (rather than value bit-slicing) is what makes the
+// interleave robust to skew: quantile cuts give every rank bucket the
+// same row mass, so a Zipf-heavy column cannot collapse the curve onto
+// a few codes. The cuts are frozen into the table (ClusterSpec) at
+// ZOrderBy time; tail merges reuse them, which keeps a merge O(n)
+// and is sound for pruning because zone maps summarize values, not keys.
+
+const (
+	// zorderDefaultBits is the per-axis rank resolution (bits) used when
+	// the caller passes bits <= 0: 2^12 = 4096 rank buckets per axis,
+	// plenty below any realistic block count while keeping the cut-point
+	// tables small.
+	zorderDefaultBits = 12
+	// zorderMaxBits caps the per-axis resolution so two interleaved
+	// ranks always fit a uint64 with room for the NaN sentinel.
+	zorderMaxBits = 16
+)
+
+// spreadBits spaces the low 32 bits of x apart so bit i lands at
+// position 2i (the standard Morton magic-mask cascade).
+func spreadBits(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compactBits inverts spreadBits: it gathers the even-position bits of
+// v back into a contiguous 32-bit value.
+func compactBits(v uint64) uint32 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return uint32(v)
+}
+
+// interleave2 builds the Z-order key of a rank pair: axis a occupies
+// the even bit positions, axis b the odd ones.
+func interleave2(a, b uint32) uint64 {
+	return spreadBits(a) | spreadBits(b)<<1
+}
+
+// deinterleave2 recovers the rank pair from a Z-order key.
+func deinterleave2(key uint64) (a, b uint32) {
+	return compactBits(key), compactBits(key >> 1)
+}
+
+// zorderCuts computes bins-1 ascending quantile cut points over the
+// non-NaN values of vec — the frozen rank quantizer of one axis. An
+// all-NaN (or empty) column yields nil cuts, mapping every value to
+// rank 0.
+func zorderCuts(vec []float64, bins int) []float64 {
+	vals := make([]float64, 0, len(vec))
+	for _, v := range vec {
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	sort.Float64s(vals)
+	cuts := make([]float64, bins-1)
+	for i := range cuts {
+		cuts[i] = vals[(i+1)*len(vals)/bins]
+	}
+	return cuts
+}
+
+// zorderRank maps a non-NaN value to its rank bucket under the frozen
+// cuts. The mapping is monotone non-decreasing in v (all that pruning
+// and merging need); ±Inf land in the extreme buckets.
+func zorderRank(cuts []float64, v float64) uint32 {
+	return uint32(sort.SearchFloat64s(cuts, v))
+}
+
+// zorderKeys computes the Z-order key of every row from the frozen
+// per-axis cuts. A row with NaN in either axis gets MaxUint64 — NaNs
+// sort last, mirroring the single-column comparator — which cannot
+// collide with a real key (two 16-bit ranks interleave below 2^32).
+func zorderKeys(t *Table, columns []string, cuts [][]float64) ([]uint64, error) {
+	if len(columns) != 2 || len(cuts) != 2 {
+		return nil, fmt.Errorf("data: table %s: z-order wants exactly 2 columns, have %d", t.name, len(columns))
+	}
+	vecs := make([][]float64, 2)
+	for i, c := range columns {
+		ord := t.schema.Ordinal(c)
+		if ord < 0 {
+			return nil, fmt.Errorf("data: table %s has no column %q", t.name, c)
+		}
+		vec, err := t.NumericColumn(ord)
+		if err != nil {
+			return nil, fmt.Errorf("data: z-order column must be numeric: %w", err)
+		}
+		vecs[i] = vec
+	}
+	keys := make([]uint64, t.rows)
+	for i := 0; i < t.rows; i++ {
+		va, vb := vecs[0][i], vecs[1][i]
+		if math.IsNaN(va) || math.IsNaN(vb) {
+			keys[i] = math.MaxUint64
+			continue
+		}
+		keys[i] = interleave2(zorderRank(cuts[0], va), zorderRank(cuts[1], vb))
+	}
+	return keys, nil
+}
+
+// ZOrderBy returns a copy of the table with rows reordered along the
+// Z-order curve over two numeric columns: each column is rank-quantized
+// by its own quantile cut points (2^bits buckets; bits <= 0 means
+// zorderDefaultBits) and the interleaved ranks are the sort key, ties
+// in original row order. Rows with NaN in either column sort last. The
+// result records the two-column clustering spec and the frozen cuts
+// (ClusterSpec), so appends grow an explicit unsorted tail and
+// MergeClusteredTail can recompute keys without re-deriving quantiles.
+func ZOrderBy(t *Table, columns []string, bits int) (*Table, error) {
+	if len(columns) != 2 {
+		return nil, fmt.Errorf("data: ZOrderBy wants exactly 2 columns, got %d", len(columns))
+	}
+	if bits <= 0 {
+		bits = zorderDefaultBits
+	}
+	if bits > zorderMaxBits {
+		bits = zorderMaxBits
+	}
+	canon := make([]string, 2)
+	ords := make([]int, 2)
+	for i, c := range columns {
+		ord := t.schema.Ordinal(c)
+		if ord < 0 {
+			return nil, fmt.Errorf("data: table %s has no column %q", t.name, c)
+		}
+		canon[i] = t.schema.Columns[ord].Name
+		ords[i] = ord
+	}
+	if ords[0] == ords[1] {
+		return nil, fmt.Errorf("data: ZOrderBy on table %s: column %q interleaved with itself", t.name, canon[0])
+	}
+	bins := 1 << bits
+	cuts := make([][]float64, 2)
+	for i, ord := range ords {
+		vec, err := t.NumericColumn(ord)
+		if err != nil {
+			return nil, fmt.Errorf("data: z-order column must be numeric: %w", err)
+		}
+		cuts[i] = zorderCuts(vec, bins)
+	}
+	keys, err := zorderKeys(t, canon, cuts)
+	if err != nil {
+		return nil, err
+	}
+
+	perm := make([]int, t.rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return keys[perm[a]] < keys[perm[b]]
+	})
+
+	out := permuted(t, perm)
+	out.clusterCols = canon
+	out.zcuts = cuts
+	out.sortedRows = out.rows
+	return out, nil
+}

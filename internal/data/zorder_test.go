@@ -1,0 +1,255 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestInterleaveRoundTrip is the encode/decode property of the Morton
+// key: deinterleave2(interleave2(a, b)) == (a, b) over the full 32-bit
+// rank domain, and the key is monotone along each axis with the other
+// held fixed (what makes curve order consistent with per-axis order
+// inside a quadrant).
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		a, b := rng.Uint32(), rng.Uint32()
+		if i < 100 { // exercise the low/high corners too
+			a &= 0xFFFF
+			b &= 0xFFFF
+		}
+		ga, gb := deinterleave2(interleave2(a, b))
+		if ga != a || gb != b {
+			t.Fatalf("round trip (%#x, %#x) -> (%#x, %#x)", a, b, ga, gb)
+		}
+	}
+	for _, fixed := range []uint32{0, 1, 0x5555, 0xFFFF} {
+		for v := uint32(0); v < 1024; v++ {
+			if interleave2(v, fixed) >= interleave2(v+1, fixed) {
+				t.Fatalf("axis a not monotone at v=%d fixed=%#x", v, fixed)
+			}
+			if interleave2(fixed, v) >= interleave2(fixed, v+1) {
+				t.Fatalf("axis b not monotone at v=%d fixed=%#x", v, fixed)
+			}
+		}
+	}
+	// Bit layout: axis a occupies even positions, axis b odd ones.
+	if interleave2(1, 0) != 1 || interleave2(0, 1) != 2 || interleave2(3, 3) != 15 {
+		t.Fatalf("unexpected bit layout: %d %d %d",
+			interleave2(1, 0), interleave2(0, 1), interleave2(3, 3))
+	}
+}
+
+// zorderTestTable builds an n-row table with two float axes (NaN and
+// ±Inf sprinkles), an int payload and a string tag.
+func zorderTestTable(t *testing.T, n int, seed int64) *Table {
+	t.Helper()
+	tbl := NewTable("points", MustSchema(
+		Column{Name: "x", Type: Float64},
+		Column{Name: "y", Type: Float64},
+		Column{Name: "payload", Type: Int64},
+		Column{Name: "tag", Type: String},
+	))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64() * 100
+		y := rng.ExpFloat64() * 50 // skewed on purpose: rank cuts must cope
+		switch rng.Intn(50) {
+		case 0:
+			x = math.NaN()
+		case 1:
+			y = math.NaN()
+		case 2:
+			x = math.Inf(1)
+		case 3:
+			y = math.Inf(-1)
+		}
+		if err := tbl.AppendRow(FloatValue(x), FloatValue(y), IntValue(int64(i)), StringValue(string(rune('a'+i%5)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestZOrderByLayout(t *testing.T) {
+	tbl := zorderTestTable(t, 2000, 7)
+	z, err := ZOrderBy(tbl, []string{"X", "y"}, 0) // case-insensitive lookup
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Multi-column spec: ClusterSpec reports both axes; the single-column
+	// ClusterInfo view reports unclustered.
+	cols, sorted := z.ClusterSpec()
+	if len(cols) != 2 || cols[0] != "x" || cols[1] != "y" || sorted != 2000 {
+		t.Fatalf("ClusterSpec = (%v, %d), want ([x y], 2000)", cols, sorted)
+	}
+	if col, n := z.ClusterInfo(); col != "" || n != 0 {
+		t.Fatalf("ClusterInfo on z-order layout = (%q, %d), want empty", col, n)
+	}
+	if z.ClusterTail() != 0 {
+		t.Fatalf("ClusterTail = %d, want 0", z.ClusterTail())
+	}
+
+	// Rows are in nondecreasing frozen-key order, NaN-bearing rows last.
+	keys, err := zorderKeys(z, z.clusterCols, z.zcuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("row %d: keys out of curve order: %d > %d", i, keys[i-1], keys[i])
+		}
+	}
+
+	// The permutation lost no rows.
+	pay, _ := z.Ints(2)
+	seen := make(map[int64]bool, 2000)
+	for _, p := range pay {
+		if seen[p] {
+			t.Fatalf("payload %d duplicated by permutation", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 2000 {
+		t.Fatalf("permutation lost rows: %d distinct payloads", len(seen))
+	}
+
+	// Appends grow an explicit unsorted tail under the same spec.
+	if err := z.AppendRow(FloatValue(1), FloatValue(2), IntValue(9999), StringValue("t")); err != nil {
+		t.Fatal(err)
+	}
+	if z.ClusterTail() != 1 {
+		t.Fatalf("post-append ClusterTail = %d, want 1", z.ClusterTail())
+	}
+
+	// Error cases.
+	if _, err := ZOrderBy(tbl, []string{"x"}, 12); err == nil {
+		t.Fatal("one column: expected error")
+	}
+	if _, err := ZOrderBy(tbl, []string{"x", "X"}, 12); err == nil {
+		t.Fatal("self-interleave: expected error")
+	}
+	if _, err := ZOrderBy(tbl, []string{"x", "tag"}, 12); err == nil {
+		t.Fatal("string axis: expected error")
+	}
+	if _, err := ZOrderBy(tbl, []string{"x", "nope"}, 12); err == nil {
+		t.Fatal("missing axis: expected error")
+	}
+}
+
+// TestZOrderMergeTailMatchesStableResort is the tail-merge soundness
+// property for interleaved layouts: merging the unsorted tail must be
+// bitwise identical to a stable re-sort of all rows by the *frozen*
+// quantizer's curve keys (the cuts are not re-derived at merge time).
+func TestZOrderMergeTailMatchesStableResort(t *testing.T) {
+	for _, tc := range []struct{ n, tail int }{
+		{500, 1}, {500, 499}, {2000, 64}, {3, 2},
+	} {
+		tbl := zorderTestTable(t, tc.n, int64(tc.n))
+		z, err := ZOrderBy(tbl, []string{"x", "y"}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendClusterTail := func(k int, seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			base := z.NumRows()
+			for i := 0; i < k; i++ {
+				x, y := rng.NormFloat64()*100, rng.ExpFloat64()*50
+				if rng.Intn(15) == 0 {
+					x = math.NaN()
+				}
+				if err := z.AppendRow(FloatValue(x), FloatValue(y), IntValue(int64(base+i)), StringValue("t")); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		appendClusterTail(tc.tail, int64(tc.tail)+11)
+
+		merged, err := MergeClusteredTail(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged == z {
+			t.Fatalf("n=%d tail=%d: merge returned the input table", tc.n, tc.tail)
+		}
+		cols, nr := merged.ClusterSpec()
+		if len(cols) != 2 || cols[0] != "x" || cols[1] != "y" || nr != tc.n+tc.tail {
+			t.Fatalf("n=%d tail=%d: merged ClusterSpec = (%v, %d)", tc.n, tc.tail, cols, nr)
+		}
+
+		// Expected: stable sort of the pre-merge rows by frozen-cut keys.
+		keys, err := zorderKeys(z, z.clusterCols, z.zcuts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := make([]int, z.NumRows())
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+		sameRows(t, merged, permuted(z, perm))
+	}
+}
+
+// TestZOrderSlicePropagatesSpec checks that zero-copy views of a
+// Z-order layout keep the full clustering spec (columns and frozen
+// cuts) with the sorted prefix clamped — what lets shard slices of an
+// interleaved parent keep two-axis pruning and merge their own tails.
+func TestZOrderSlicePropagatesSpec(t *testing.T) {
+	tbl := zorderTestTable(t, 600, 3)
+	z, err := ZOrderBy(tbl, []string{"x", "y"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := z.Slice(100, 400)
+	cols, sorted := v.ClusterSpec()
+	if len(cols) != 2 || cols[0] != "x" || cols[1] != "y" {
+		t.Fatalf("slice lost z-order spec: %v", cols)
+	}
+	if sorted != 300 || v.ClusterTail() != 0 {
+		t.Fatalf("slice sortedRows = %d tail = %d, want 300, 0", sorted, v.ClusterTail())
+	}
+	if len(v.zcuts) != 2 || len(v.zcuts[0]) == 0 {
+		t.Fatal("slice lost frozen quantizer cuts")
+	}
+	// A slice view can merge its own (conceptual) tail: clusterLess
+	// still resolves against the frozen cuts.
+	if _, err := v.clusterLess(); err != nil {
+		t.Fatalf("slice clusterLess: %v", err)
+	}
+}
+
+// BenchmarkZOrderKeys measures the dense Morton-key kernel — rank
+// lookup against frozen quantile cuts plus the interleave cascade —
+// over one block-sized stretch of rows per op.
+func BenchmarkZOrderKeys(b *testing.B) {
+	const n = 1024
+	tbl := NewTable("points", MustSchema(
+		Column{Name: "x", Type: Float64},
+		Column{Name: "y", Type: Float64},
+	))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		if err := tbl.AppendRow(FloatValue(rng.NormFloat64()*100), FloatValue(rng.ExpFloat64()*50)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cuts := make([][]float64, 2)
+	for ax := 0; ax < 2; ax++ {
+		vec, err := tbl.NumericColumn(ax)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cuts[ax] = zorderCuts(vec, 1<<zorderDefaultBits)
+	}
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zorderKeys(tbl, []string{"x", "y"}, cuts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -36,28 +36,36 @@ func TestWorkloadStatsObserve(t *testing.T) {
 	var w workloadStats
 	drives := []scanDrive{{ord: 1}, {ord: 3}}
 
-	w.observe("users", 1000, drives, 100) // sel 0.1 seeds the EWMA
-	w.observe("users", 1000, drives, 500) // sel 0.5 folds in at alpha
+	// Marginal attribution: each drive's own in-interval row count
+	// updates only its column's EWMA.
+	w.observe("users", 1000, drives, []int{100, 300}) // seeds 0.1 / 0.3
+	w.observe("users", 1000, drives, []int{500, 300}) // folds at alpha
 	snap := w.snapshot()
 	cols, ok := snap["users"]
 	if !ok || len(cols) != 2 {
 		t.Fatalf("snapshot = %+v, want 2 columns under users", snap)
 	}
-	for _, ord := range []int{1, 3} {
-		cw := cols[ord]
+	for _, tc := range []struct {
+		ord        int
+		seed, next float64
+	}{
+		{1, 0.1, 0.5},
+		{3, 0.3, 0.3},
+	} {
+		cw := cols[tc.ord]
 		if cw.touches != 2 {
-			t.Errorf("ord %d touches = %d, want 2", ord, cw.touches)
+			t.Errorf("ord %d touches = %d, want 2", tc.ord, cw.touches)
 		}
-		want := float64(100) / 1000 // seeded, then one EWMA fold below
-		want += ewmaAlpha * (float64(500)/1000 - want)
+		want := tc.seed + ewmaAlpha*(tc.next-tc.seed)
 		if cw.ewma != want {
-			t.Errorf("ord %d ewma = %v, want %v", ord, cw.ewma, want)
+			t.Errorf("ord %d ewma = %v, want %v", tc.ord, cw.ewma, want)
 		}
 	}
 
 	// Degenerate observations are ignored.
-	w.observe("users", 0, drives, 0)
-	w.observe("users", 1000, nil, 10)
+	w.observe("users", 0, drives, []int{0, 0})
+	w.observe("users", 1000, nil, nil)
+	w.observe("users", 1000, drives, []int{10}) // margs misaligned
 	if w.snapshot()["users"][1].touches != 2 {
 		t.Error("degenerate observe mutated the stats")
 	}

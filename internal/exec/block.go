@@ -92,10 +92,14 @@ func (e *Engine) zoneMapFor(t *data.Table, ord int, vec []float64) *zoneMap {
 
 // zonePred is one block-skip test: skip a block when its zone interval
 // provably misses [lo, hi] and the block holds no NaN (NaN rows pass
-// the scan predicates this prunes for, so they pin their block).
+// the scan predicates this prunes for, so they pin their block). ord
+// records the column ordinal the predicate prunes on, so skips can be
+// attributed per axis — the visibility that tells a Z-order layout's
+// operator that *both* interleaved dimensions are earning their keep.
 type zonePred struct {
 	zm     *zoneMap
 	lo, hi float64
+	ord    int
 }
 
 // skip reports whether block bi can be skipped outright.
@@ -103,15 +107,23 @@ func (zp *zonePred) skip(bi int) bool {
 	return !zp.zm.nan[bi] && (zp.zm.maxs[bi] < zp.lo || zp.zm.mins[bi] > zp.hi)
 }
 
+// skipAxis returns the index (into zps) of the first predicate proving
+// block bi empty of candidates, or -1 when the block must be visited.
+// Attribution goes to the first firing predicate: a block failing on
+// several axes counts once, under the earliest axis in predicate order.
+func skipAxis(zps []zonePred, bi int) int {
+	for i := range zps {
+		if zps[i].skip(bi) {
+			return i
+		}
+	}
+	return -1
+}
+
 // blockSkippable reports whether any zone predicate proves block bi
 // empty of candidates.
 func blockSkippable(zps []zonePred, bi int) bool {
-	for i := range zps {
-		if zps[i].skip(bi) {
-			return true
-		}
-	}
-	return false
+	return skipAxis(zps, bi) >= 0
 }
 
 // prunePad widens a finite pruning endpoint by a relative epsilon so

@@ -77,26 +77,37 @@ type Stats struct {
 	// regime where zone maps still prune the sorted prefix but the tail
 	// blocks span the whole domain and are never skippable.
 	DegradedScans int64
+	// ZOrderResorts counts auto-clustering re-sorts that produced a
+	// Z-order (two-column interleaved) layout; each also increments
+	// Resorts.
+	ZOrderResorts int64
+	// DeferredResorts counts layout actions (re-sorts or tail merges)
+	// the scheduler postponed because a batch storm was in flight —
+	// the cost model judged the rewrite cheaper to amortize after the
+	// pending batches drain.
+	DeferredResorts int64
 }
 
 // Sub returns the counter deltas s minus prev — the work performed
 // between two snapshots.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Queries:        s.Queries - prev.Queries,
-		RowsScanned:    s.RowsScanned - prev.RowsScanned,
-		BlocksScanned:  s.BlocksScanned - prev.BlocksScanned,
-		BlocksSkipped:  s.BlocksSkipped - prev.BlocksSkipped,
-		TuplesExamined: s.TuplesExamined - prev.TuplesExamined,
-		CellsSkipped:   s.CellsSkipped - prev.CellsSkipped,
-		CellsMerged:    s.CellsMerged - prev.CellsMerged,
-		BoundaryRows:   s.BoundaryRows - prev.BoundaryRows,
-		CacheHits:      s.CacheHits - prev.CacheHits,
-		CacheMisses:    s.CacheMisses - prev.CacheMisses,
-		CacheEvictions: s.CacheEvictions - prev.CacheEvictions,
-		Resorts:        s.Resorts - prev.Resorts,
-		TailMerges:     s.TailMerges - prev.TailMerges,
-		DegradedScans:  s.DegradedScans - prev.DegradedScans,
+		Queries:         s.Queries - prev.Queries,
+		RowsScanned:     s.RowsScanned - prev.RowsScanned,
+		BlocksScanned:   s.BlocksScanned - prev.BlocksScanned,
+		BlocksSkipped:   s.BlocksSkipped - prev.BlocksSkipped,
+		TuplesExamined:  s.TuplesExamined - prev.TuplesExamined,
+		CellsSkipped:    s.CellsSkipped - prev.CellsSkipped,
+		CellsMerged:     s.CellsMerged - prev.CellsMerged,
+		BoundaryRows:    s.BoundaryRows - prev.BoundaryRows,
+		CacheHits:       s.CacheHits - prev.CacheHits,
+		CacheMisses:     s.CacheMisses - prev.CacheMisses,
+		CacheEvictions:  s.CacheEvictions - prev.CacheEvictions,
+		Resorts:         s.Resorts - prev.Resorts,
+		TailMerges:      s.TailMerges - prev.TailMerges,
+		DegradedScans:   s.DegradedScans - prev.DegradedScans,
+		ZOrderResorts:   s.ZOrderResorts - prev.ZOrderResorts,
+		DeferredResorts: s.DeferredResorts - prev.DeferredResorts,
 	}
 }
 
@@ -105,20 +116,22 @@ func (s Stats) Sub(prev Stats) Stats {
 // reads counters that all belong to the same generation — never a
 // half-reset mixture.
 type statsCells struct {
-	queries        atomic.Int64
-	rowsScanned    atomic.Int64
-	blocksScanned  atomic.Int64
-	blocksSkipped  atomic.Int64
-	tuplesExamined atomic.Int64
-	cellsSkipped   atomic.Int64
-	cellsMerged    atomic.Int64
-	boundaryRows   atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	cacheEvictions atomic.Int64
-	resorts        atomic.Int64
-	tailMerges     atomic.Int64
-	degradedScans  atomic.Int64
+	queries         atomic.Int64
+	rowsScanned     atomic.Int64
+	blocksScanned   atomic.Int64
+	blocksSkipped   atomic.Int64
+	tuplesExamined  atomic.Int64
+	cellsSkipped    atomic.Int64
+	cellsMerged     atomic.Int64
+	boundaryRows    atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	cacheEvictions  atomic.Int64
+	resorts         atomic.Int64
+	tailMerges      atomic.Int64
+	degradedScans   atomic.Int64
+	zorderResorts   atomic.Int64
+	deferredResorts atomic.Int64
 }
 
 // engineObs holds the pre-resolved observability handles of an
@@ -140,8 +153,16 @@ type engineObs struct {
 	resorts       *obs.Counter
 	tailMerges    *obs.Counter
 	degraded      *obs.Counter
+	zorderResorts *obs.Counter
+	deferred      *obs.Counter
 	queryDur      *obs.Histogram
 	selDensity    *obs.Histogram
+
+	// axisCtrs are the per-column zone-skip counters, created lazily on
+	// first skip attribution for a column (the label set is data-driven:
+	// one series per pruning column actually seen).
+	axisMu   sync.Mutex
+	axisCtrs map[string]*obs.Counter
 }
 
 // Engine executes relq queries against a catalog.
@@ -183,6 +204,22 @@ type Engine struct {
 	// ClusterPolicy overrides the auto-clustering thresholds; zero
 	// fields fall back to DefaultAutoClusterPolicy (see clusterPolicy).
 	ClusterPolicy AutoClusterPolicy
+	// zorder admits two-column Z-order layouts into the auto-clustering
+	// election (equivalent to ClusterPolicy.ZOrder; either enables).
+	zorder atomic.Bool
+
+	// pendingBatches counts AggregateBatch calls currently in flight —
+	// the backpressure signal the re-sort scheduler reads: a sweep that
+	// would rewrite a layout while other batches are executing defers
+	// instead (see sweepTable), so a batch storm never stalls behind a
+	// re-sort it could have amortized after draining.
+	pendingBatches atomic.Int64
+
+	// zoneSkips attributes zone-map block skips to the pruning column
+	// ("table.column" keys) — the per-axis visibility that shows both
+	// dimensions of a Z-order layout earning their keep.
+	zoneSkipMu sync.Mutex
+	zoneSkips  map[string]int64
 }
 
 type colKey struct {
@@ -269,6 +306,8 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 		resorts:       o.Counter("acquire_autocluster_resorts_total", "Auto-clustering re-sorts: the workload policy rewrote a table layout around a learned clustering column."),
 		tailMerges:    o.Counter("acquire_autocluster_tail_merges_total", "Auto-clustering tail merges: a clustered table's unsorted append tail merged back into its sorted run."),
 		degraded:      o.Counter("acquire_engine_cluster_degraded_scans_total", "Full scans over clustered tables whose unsorted append tail exceeds one block (zone maps blind on the tail)."),
+		zorderResorts: o.Counter("acquire_autocluster_zorder_resorts_total", "Auto-clustering re-sorts that produced a Z-order (two-column interleaved) layout."),
+		deferred:      o.Counter("acquire_autocluster_deferred_resorts_total", "Layout rewrites (re-sorts or tail merges) the scheduler postponed because a batch storm was in flight."),
 		queryDur:      o.Histogram(`acquire_phase_duration_seconds{phase="evaluate"}`, "Duration of search/engine phases by phase name.", nil),
 		selDensity: o.Histogram("acquire_engine_selection_density",
 			"Post-filter selection-vector density per scanned block (kept rows / block rows).",
@@ -292,20 +331,22 @@ func (e *Engine) Observer() *obs.Observer {
 func (e *Engine) Snapshot() Stats {
 	c := e.stats.Load()
 	return Stats{
-		Queries:        c.queries.Load(),
-		RowsScanned:    c.rowsScanned.Load(),
-		BlocksScanned:  c.blocksScanned.Load(),
-		BlocksSkipped:  c.blocksSkipped.Load(),
-		TuplesExamined: c.tuplesExamined.Load(),
-		CellsSkipped:   c.cellsSkipped.Load(),
-		CellsMerged:    c.cellsMerged.Load(),
-		BoundaryRows:   c.boundaryRows.Load(),
-		CacheHits:      c.cacheHits.Load(),
-		CacheMisses:    c.cacheMisses.Load(),
-		CacheEvictions: c.cacheEvictions.Load(),
-		Resorts:        c.resorts.Load(),
-		TailMerges:     c.tailMerges.Load(),
-		DegradedScans:  c.degradedScans.Load(),
+		Queries:         c.queries.Load(),
+		RowsScanned:     c.rowsScanned.Load(),
+		BlocksScanned:   c.blocksScanned.Load(),
+		BlocksSkipped:   c.blocksSkipped.Load(),
+		TuplesExamined:  c.tuplesExamined.Load(),
+		CellsSkipped:    c.cellsSkipped.Load(),
+		CellsMerged:     c.cellsMerged.Load(),
+		BoundaryRows:    c.boundaryRows.Load(),
+		CacheHits:       c.cacheHits.Load(),
+		CacheMisses:     c.cacheMisses.Load(),
+		CacheEvictions:  c.cacheEvictions.Load(),
+		Resorts:         c.resorts.Load(),
+		TailMerges:      c.tailMerges.Load(),
+		DegradedScans:   c.degradedScans.Load(),
+		ZOrderResorts:   c.zorderResorts.Load(),
+		DeferredResorts: c.deferredResorts.Load(),
 	}
 }
 
@@ -403,6 +444,91 @@ func (e *Engine) countDegradedScans(n int64) {
 		eo.degraded.Add(n)
 	}
 }
+
+func (e *Engine) countZOrderResorts(n int64) {
+	e.stats.Load().zorderResorts.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.zorderResorts.Add(n)
+	}
+}
+
+func (e *Engine) countDeferredResorts(n int64) {
+	e.stats.Load().deferredResorts.Add(n)
+	if eo := e.obsState.Load(); eo != nil {
+		eo.deferred.Add(n)
+	}
+}
+
+// countZoneAxisSkips attributes one scan's zone-map block skips to the
+// columns whose predicates fired (axisSkips aligned with zps; see
+// skipAxis for the attribution rule). Only called when at least one
+// block was skipped, so unskipping scans pay nothing.
+func (e *Engine) countZoneAxisSkips(t *data.Table, zps []zonePred, axisSkips []int64) {
+	cols := t.Schema().Columns
+	tk := tableKey(t)
+	e.zoneSkipMu.Lock()
+	if e.zoneSkips == nil {
+		e.zoneSkips = make(map[string]int64)
+	}
+	for i, n := range axisSkips {
+		if n > 0 {
+			e.zoneSkips[tk+"."+strings.ToLower(cols[zps[i].ord].Name)] += n
+		}
+	}
+	e.zoneSkipMu.Unlock()
+	if eo := e.obsState.Load(); eo != nil {
+		for i, n := range axisSkips {
+			if n > 0 {
+				eo.zoneSkipCounter(strings.ToLower(cols[zps[i].ord].Name)).Add(n)
+			}
+		}
+	}
+}
+
+// zoneSkipCounter returns (creating on first use) the per-column
+// zone-skip counter series. Registration is idempotent in the registry,
+// so concurrent first touches of the same column are safe.
+func (eo *engineObs) zoneSkipCounter(column string) *obs.Counter {
+	eo.axisMu.Lock()
+	defer eo.axisMu.Unlock()
+	if eo.axisCtrs == nil {
+		eo.axisCtrs = make(map[string]*obs.Counter)
+	}
+	if c, ok := eo.axisCtrs[column]; ok {
+		return c
+	}
+	c := eo.o.Counter(
+		fmt.Sprintf("acquire_engine_zone_skips_total{column=%q}", column),
+		"Zone-map block skips attributed to the pruning column (first firing predicate).")
+	eo.axisCtrs[column] = c
+	return c
+}
+
+// ZoneSkips returns a copy of the per-column zone-map skip attribution:
+// "table.column" -> blocks skipped because that column's zone predicate
+// fired first. On a Z-order layout both interleaved axes should appear
+// with nonzero counts once the workload exercises both dimensions.
+func (e *Engine) ZoneSkips() map[string]int64 {
+	e.zoneSkipMu.Lock()
+	defer e.zoneSkipMu.Unlock()
+	out := make(map[string]int64, len(e.zoneSkips))
+	for k, v := range e.zoneSkips {
+		out[k] = v
+	}
+	return out
+}
+
+// SetZOrder admits two-column Z-order layouts into the auto-clustering
+// election (no-op unless auto-clustering is also enabled). Off by
+// default: single-column elections are strictly cheaper to compute and
+// most workloads drive one dominant range column.
+func (e *Engine) SetZOrder(on bool) { e.zorder.Store(on) }
+
+// ZOrderOn reports whether Z-order layouts may be elected.
+func (e *Engine) ZOrderOn() bool { return e.zorder.Load() }
+
+// PendingBatches reports the number of AggregateBatch calls in flight.
+func (e *Engine) PendingBatches() int64 { return e.pendingBatches.Load() }
 
 // BuildGridIndex builds and registers a §7.4 grid bitmap index over the
 // named numeric columns of a table. Subsequent Aggregate calls use it to
@@ -622,7 +748,7 @@ func (e *Engine) scanTableLegacy(b *binding, region relq.Region, ti int) ([]int3
 	if empty {
 		return nil, nil // some dimension admits nothing
 	}
-	candidates, indexed, err := e.pickIndexDrive(t, n, drives)
+	candidates, indexed, _, err := e.pickIndexDrive(t, n, drives)
 	if err != nil {
 		return nil, err
 	}

@@ -56,6 +56,13 @@ type Evaluator interface {
 	// layout; values and aggregates are unchanged).
 	SetAutoCluster(on bool)
 
+	// SetZOrder(true) admits two-column Z-order (space-filling-curve)
+	// layouts into the auto-clustering election: when two range columns
+	// both carry workload weight, the table may be re-laid along their
+	// interleaved rank curve so zone maps prune on both axes. No-op
+	// unless auto-clustering is enabled.
+	SetZOrder(on bool)
+
 	// SetObserver attaches (nil detaches) an observer; Observer returns
 	// the current one (nil-safe for phase timing).
 	SetObserver(o *obs.Observer)

@@ -160,6 +160,19 @@ func (sv *ShardedEvaluator) SetAutoCluster(on bool) {
 	}
 }
 
+// SetZOrder admits Z-order layouts into every shard engine's election.
+// Each shard's sweep elects independently against its own row range's
+// statistics, so shards may legitimately diverge — an interior shard
+// whose rows all satisfy the workload's bound on one column sees that
+// column's marginal selectivity as ~1 and clusters on the other axis,
+// while boundary shards keep the two-axis (or single-axis) layout that
+// pays there.
+func (sv *ShardedEvaluator) SetZOrder(on bool) {
+	for _, e := range sv.engines {
+		e.SetZOrder(on)
+	}
+}
+
 // Aggregate executes one region by serial scatter-gather (the oracle
 // path: shard engines bypass their region caches exactly as
 // Engine.Aggregate does).
@@ -208,6 +221,21 @@ func (sv *ShardedEvaluator) AggregateBatch(ctx context.Context, q *relq.Query, r
 		}
 		runs[s] = e.regionRunner(q, b)
 	}
+	// The scatter path dispatches to shard regionRunners directly, never
+	// through Engine.AggregateBatch, so the pending-batch storm marks and
+	// the between-batches auto-cluster sweeps are managed here: every
+	// shard engine is marked busy for the scatter's duration (concurrent
+	// scatters therefore see each other and defer layout rewrites), and
+	// each sweeps on the way out.
+	for _, e := range sv.engines {
+		e.pendingBatches.Add(1)
+	}
+	defer func() {
+		for _, e := range sv.engines {
+			e.pendingBatches.Add(-1)
+			e.maybeAutoCluster()
+		}
+	}()
 	sv.countScatter(nr)
 	so := sv.obsShard.Load()
 	if so != nil && so.o.LogEnabled(slog.LevelDebug) {
@@ -374,12 +402,6 @@ func (sv *ShardedEvaluator) AggregateBatch(ctx context.Context, q *relq.Query, r
 			out[i] = agg.Merge(out[i], row[i])
 		}
 	}
-	// The scatter path dispatches to shard regionRunners directly, never
-	// through Engine.AggregateBatch, so the between-batches auto-cluster
-	// sweep must be invoked explicitly here.
-	for _, e := range sv.engines {
-		e.maybeAutoCluster()
-	}
 	return out, nil
 }
 
@@ -429,6 +451,21 @@ func (sv *ShardedEvaluator) Snapshot() Stats {
 		out.Resorts += s.Resorts
 		out.TailMerges += s.TailMerges
 		out.DegradedScans += s.DegradedScans
+		out.ZOrderResorts += s.ZOrderResorts
+		out.DeferredResorts += s.DeferredResorts
+	}
+	return out
+}
+
+// ZoneSkips merges the shard engines' per-column zone-skip attribution
+// ("table.column" -> blocks skipped because that column's predicate
+// fired first).
+func (sv *ShardedEvaluator) ZoneSkips() map[string]int64 {
+	out := make(map[string]int64)
+	for _, e := range sv.engines {
+		for k, v := range e.ZoneSkips() {
+			out[k] += v
+		}
 	}
 	return out
 }

@@ -91,27 +91,68 @@ func scanDrives(b *binding, region relq.Region, ti int) (drives []scanDrive, emp
 // pickIndexDrive selects the most selective driving interval and, when
 // it narrows the table to at most half its rows, returns the matching
 // candidate rows from the sorted index (in value order — the shared
-// access-path choice of both scan paths).
-func (e *Engine) pickIndexDrive(t *data.Table, n int, drives []scanDrive) ([]int32, bool, error) {
+// access-path choice of both scan paths). It also returns every drive's
+// exact in-interval row count from the sorted indexes (margs, aligned
+// with drives): the per-column *marginal* selectivities the workload
+// statistics learn from, already computed here as a byproduct of access-
+// path selection.
+//
+// One layout-aware refinement: when the table is clustered over the
+// best drive's column (single-column or Z-order interleave) with at
+// most a sub-block append tail, a moderately selective drive (more
+// than n/8 rows) stays on the zone-pruned full-scan path instead of
+// the index. The clustered layout makes zone maps drop roughly the
+// same rows the index would, through dense block kernels instead of
+// per-row gathers — and on a Z-order layout the full scan prunes on
+// *both* interleaved axes where the index can use only one. Clearly
+// narrow drives (<= n/8) still take the index. Both scan paths share
+// this choice, so legacy/vectorized equivalence is unaffected.
+func (e *Engine) pickIndexDrive(t *data.Table, n int, drives []scanDrive) ([]int32, bool, []int, error) {
 	if len(drives) == 0 {
-		return nil, false, nil
+		return nil, false, nil, nil
 	}
+	margs := make([]int, len(drives))
 	bestSize := n + 1
 	var best *sortedIdx
 	var bestDrive scanDrive
-	for _, d := range drives {
+	for i, d := range drives {
 		ix, err := e.sortedIndex(t, d.ord)
 		if err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
-		if sz := ix.rangeSize(d.lo, d.hi); sz < bestSize {
+		sz := ix.rangeSize(d.lo, d.hi)
+		margs[i] = sz
+		if sz < bestSize {
 			bestSize, best, bestDrive = sz, ix, d
 		}
 	}
-	if best != nil && bestSize <= n/2 {
-		return best.rangeRows(bestDrive.lo, bestDrive.hi), true, nil
+	if best != nil && bestSize <= n/2 && !e.preferClusteredScan(t, bestDrive, bestSize, n) {
+		return best.rangeRows(bestDrive.lo, bestDrive.hi), true, margs, nil
 	}
-	return nil, false, nil
+	return nil, false, margs, nil
+}
+
+// preferClusteredScan reports whether a moderately-selective best drive
+// should stay on the full-scan path because the table's clustered
+// layout covers its column (see pickIndexDrive).
+func (e *Engine) preferClusteredScan(t *data.Table, d scanDrive, size, n int) bool {
+	if size*8 <= n {
+		return false // clearly narrow: the index wins outright
+	}
+	if t.ClusterTail() >= blockRows {
+		return false // degraded layout: tail blocks are never skippable
+	}
+	cols, _ := t.ClusterSpec()
+	if len(cols) == 0 {
+		return false
+	}
+	name := t.Schema().Columns[d.ord].Name
+	for _, c := range cols {
+		if strings.EqualFold(c, name) {
+			return true
+		}
+	}
+	return false
 }
 
 // semiPred is a scan-level semi-join pushdown predicate: keep only rows
@@ -210,7 +251,7 @@ func (e *Engine) zonePreds(t *data.Table, f *blockFilter) []zonePred {
 		if math.IsInf(rb.lo, -1) && math.IsInf(rb.hi, 1) {
 			continue
 		}
-		zps = append(zps, zonePred{zm: e.zoneMapFor(t, rb.ord, rb.vec), lo: rb.lo, hi: rb.hi})
+		zps = append(zps, zonePred{zm: e.zoneMapFor(t, rb.ord, rb.vec), lo: rb.lo, hi: rb.hi, ord: rb.ord})
 	}
 	for i := range f.locals {
 		ld := &f.locals[i]
@@ -218,7 +259,7 @@ func (e *Engine) zonePreds(t *data.Table, f *blockFilter) []zonePred {
 		if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
 			continue
 		}
-		zps = append(zps, zonePred{zm: e.zoneMapFor(t, ld.ord, ld.vec), lo: lo, hi: hi})
+		zps = append(zps, zonePred{zm: e.zoneMapFor(t, ld.ord, ld.vec), lo: lo, hi: hi, ord: ld.ord})
 	}
 	return zps
 }
@@ -239,7 +280,7 @@ func (e *Engine) vscanTable(b *binding, region relq.Region, ti int, semi *semiPr
 	f := &blockFilter{ranges: b.ranges[ti], strs: b.strFlts[ti], locals: localDimsFor(b, region, ti), semi: semi}
 	eo := e.obsState.Load()
 
-	candidates, indexed, err := e.pickIndexDrive(t, n, drives)
+	candidates, indexed, margs, err := e.pickIndexDrive(t, n, drives)
 	if err != nil {
 		return nil, err
 	}
@@ -251,15 +292,22 @@ func (e *Engine) vscanTable(b *binding, region relq.Region, ti int, semi *semiPr
 		}
 		out := e.blockFilterRows(candidates, f, eo)
 		if e.autoCluster.Load() {
-			e.wstats.observe(tableKey(t), n, drives, len(out))
+			e.wstats.observe(tableKey(t), n, drives, margs)
 		}
 		return out, nil
 	}
 
 	zps := e.zonePreds(t, f)
-	out, rowsScanned, blocksScanned, blocksSkipped := e.blockScan(n, zps, f, eo)
+	out, rowsScanned, blocksScanned, axisSkips := e.blockScan(n, zps, f, eo)
+	var blocksSkipped int64
+	for _, s := range axisSkips {
+		blocksSkipped += s
+	}
 	e.countRows(rowsScanned)
 	e.countBlocks(blocksScanned, blocksSkipped)
+	if blocksSkipped > 0 {
+		e.countZoneAxisSkips(t, zps, axisSkips)
+	}
 	// A clustered table whose unsorted append tail has outgrown one
 	// block runs in a degraded regime: the sorted prefix still prunes
 	// but every tail block spans the whole domain. Surface it in stats
@@ -268,7 +316,7 @@ func (e *Engine) vscanTable(b *binding, region relq.Region, ti int, semi *semiPr
 		e.countDegradedScans(1)
 	}
 	if e.autoCluster.Load() {
-		e.wstats.observe(tableKey(t), n, drives, len(out))
+		e.wstats.observe(tableKey(t), n, drives, margs)
 	}
 	if eo != nil && eo.o.LogEnabled(slog.LevelDebug) {
 		eo.o.Debug("engine.scan", "table", b.q.Tables[ti],
@@ -284,8 +332,10 @@ func tableKey(t *data.Table) string { return strings.ToLower(t.Name()) }
 // blockScan runs the zone-pruned block scan over [0, n) in ascending
 // row order. Large tables fan blocks out to the worker pool in
 // contiguous chunks concatenated in chunk order, so the output matches
-// the sequential scan exactly.
-func (e *Engine) blockScan(n int, zps []zonePred, f *blockFilter, eo *engineObs) (out []int32, rowsScanned, blocksScanned, blocksSkipped int64) {
+// the sequential scan exactly. axisSkips is aligned with zps: skipped
+// blocks are attributed to the first predicate that fired (skipAxis),
+// giving per-axis pruning visibility on interleaved layouts.
+func (e *Engine) blockScan(n int, zps []zonePred, f *blockFilter, eo *engineObs) (out []int32, rowsScanned, blocksScanned int64, axisSkips []int64) {
 	nb := numBlocks(n)
 	w := e.workers()
 	if w == 1 || n < parallelThreshold {
@@ -293,15 +343,15 @@ func (e *Engine) blockScan(n int, zps []zonePred, f *blockFilter, eo *engineObs)
 	}
 	parts := chunks(nb, w)
 	outs := make([][]int32, len(parts))
-	var rows, scanned, skipped []int64
+	var rows, scanned []int64
 	rows = make([]int64, len(parts))
 	scanned = make([]int64, len(parts))
-	skipped = make([]int64, len(parts))
+	skips := make([][]int64, len(parts))
 	done := make(chan struct{})
 	for ci := range parts {
 		go func(ci int) {
 			defer func() { done <- struct{}{} }()
-			outs[ci], rows[ci], scanned[ci], skipped[ci] =
+			outs[ci], rows[ci], scanned[ci], skips[ci] =
 				scanBlockRange(parts[ci][0], parts[ci][1], n, zps, f, eo)
 		}(ci)
 	}
@@ -313,24 +363,28 @@ func (e *Engine) blockScan(n int, zps []zonePred, f *blockFilter, eo *engineObs)
 		total += len(o)
 	}
 	out = make([]int32, 0, total)
+	axisSkips = make([]int64, len(zps))
 	for ci := range outs {
 		out = append(out, outs[ci]...)
 		rowsScanned += rows[ci]
 		blocksScanned += scanned[ci]
-		blocksSkipped += skipped[ci]
+		for ai, s := range skips[ci] {
+			axisSkips[ai] += s
+		}
 	}
-	return out, rowsScanned, blocksScanned, blocksSkipped
+	return out, rowsScanned, blocksScanned, axisSkips
 }
 
 // scanBlockRange scans blocks [b0, b1) of an n-row table.
-func scanBlockRange(b0, b1, n int, zps []zonePred, f *blockFilter, eo *engineObs) (out []int32, rows, scanned, skipped int64) {
+func scanBlockRange(b0, b1, n int, zps []zonePred, f *blockFilter, eo *engineObs) (out []int32, rows, scanned int64, axisSkips []int64) {
 	var buf [blockRows]int32
 	out = make([]int32, 0, 64)
+	axisSkips = make([]int64, len(zps))
 	for bi := b0; bi < b1; bi++ {
 		lo := bi * blockRows
 		hi := min(lo+blockRows, n)
-		if blockSkippable(zps, bi) {
-			skipped++
+		if ax := skipAxis(zps, bi); ax >= 0 {
+			axisSkips[ax]++
 			continue
 		}
 		scanned++
@@ -339,7 +393,7 @@ func scanBlockRange(b0, b1, n int, zps []zonePred, f *blockFilter, eo *engineObs
 		observeDensity(eo, len(sel), hi-lo)
 		out = append(out, sel...)
 	}
-	return out, rows, scanned, skipped
+	return out, rows, scanned, axisSkips
 }
 
 // blockFilterRows applies the filter chain to an explicit candidate

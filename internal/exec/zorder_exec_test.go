@@ -1,0 +1,335 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"acquire/internal/data"
+	"acquire/internal/relq"
+	"acquire/internal/tpch"
+)
+
+// twoDimRegions is an 8-region batch over the first two users dims
+// (age, income) whose per-axis marginal masses sit around 0.3-0.55 —
+// the regime where pruning on both interleaved axes beats a perfect
+// single-column sort under the cost model.
+func twoDimRegions() []relq.Region {
+	var regions []relq.Region
+	for i := 0; i < 8; i++ {
+		h := 4 + float64(i)*2
+		regions = append(regions, relq.Region{{Lo: -1, Hi: h}, {Lo: -1, Hi: h}})
+	}
+	return regions
+}
+
+// TestAutoClusterElectsZOrder drives a two-range-dimension workload
+// through an engine with auto-clustering and Z-order admission enabled
+// and checks the full curve-layout contract: the election picks the
+// two-column interleave (ZOrderResorts), the catalog table carries the
+// two-column ClusterSpec, steady-state scans skip blocks attributed to
+// *both* axes, every batch stays bit-identical to a plain engine, and
+// the layout does not flap once learned.
+func TestAutoClusterElectsZOrder(t *testing.T) {
+	const rows = 20000
+	ctx := context.Background()
+	newCat := func() *data.Catalog {
+		cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: rows, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cat
+	}
+	ref := New(newCat())
+	auto := New(newCat())
+	auto.ClusterPolicy = eagerPolicy
+	auto.SetAutoCluster(true)
+	auto.SetZOrder(true)
+	if !auto.ZOrderOn() {
+		t.Fatal("ZOrderOn = false after SetZOrder(true)")
+	}
+
+	q := usersQuery(relq.AggCount, "", usersDims()[:2]...)
+	regions := twoDimRegions()
+
+	check := func(batch int) {
+		t.Helper()
+		want, err := ref.AggregateBatch(ctx, q, regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := auto.AggregateBatch(ctx, q, regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			exactEqual(t, fmt.Sprintf("batch %d region %d", batch, i), got[i], want[i])
+		}
+	}
+
+	resortAt := -1
+	for batch := 1; batch <= 10; batch++ {
+		check(batch)
+		if auto.Snapshot().ZOrderResorts >= 1 {
+			resortAt = batch
+			break
+		}
+	}
+	if resortAt < 0 {
+		t.Fatalf("no Z-order re-sort within 10 batches: stats %+v wstats %+v",
+			auto.Snapshot(), auto.wstats.snapshot())
+	}
+
+	tbl, err := auto.Catalog().Table("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, sorted := tbl.ClusterSpec()
+	if len(cols) != 2 || cols[0] != "age" || cols[1] != "income" {
+		t.Fatalf("ClusterSpec columns = %v, want [age income]", cols)
+	}
+	if sorted != rows {
+		t.Fatalf("sorted prefix = %d, want %d", sorted, rows)
+	}
+	if col, _ := tbl.ClusterInfo(); col != "" {
+		t.Fatalf("ClusterInfo on interleaved layout = %q, want empty", col)
+	}
+
+	// Steady state: answers still match, blocks are skipped, and the
+	// skips are attributed to both interleaved axes — the property a
+	// single-column sort cannot deliver.
+	before := auto.Snapshot()
+	zsBefore := auto.ZoneSkips()
+	check(resortAt + 1)
+	d := auto.Snapshot().Sub(before)
+	if d.BlocksSkipped == 0 {
+		t.Errorf("steady-state batch skipped no blocks: %+v", d)
+	}
+	zsAfter := auto.ZoneSkips()
+	for _, axis := range []string{"users.age", "users.income"} {
+		if zsAfter[axis] <= zsBefore[axis] {
+			t.Errorf("axis %s skipped no blocks in steady state: before %d after %d (all: %v)",
+				axis, zsBefore[axis], zsAfter[axis], zsAfter)
+		}
+	}
+
+	// No flapping: the carried-forward statistics keep re-electing the
+	// same interleave, which sameLayout turns into a no-op.
+	for batch := 0; batch < 3; batch++ {
+		check(resortAt + 2 + batch)
+	}
+	if s := auto.Snapshot(); s.Resorts != 1 || s.ZOrderResorts != 1 {
+		t.Errorf("Resorts = %d, ZOrderResorts = %d after steady batches, want 1, 1",
+			s.Resorts, s.ZOrderResorts)
+	}
+}
+
+// TestResortDeferredDuringStorm is the deterministic scheduling test:
+// with the pending-batch depth held above zero (as if other batches
+// were mid-flight), a sweep that has every reason to re-sort defers
+// instead — counted in DeferredResorts, layout untouched — and the
+// moment the storm drains the next sweep performs the rewrite.
+func TestResortDeferredDuringStorm(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 6000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(cat)
+	e.ClusterPolicy = eagerPolicy
+	e.SetAutoCluster(true)
+
+	// Aggregate (unlike AggregateBatch) feeds scan statistics without
+	// ever sweeping, so the election becomes due without firing.
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	for _, r := range prefixRegions() {
+		if _, err := e.Aggregate(q, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.Snapshot(); s.Resorts != 0 || s.DeferredResorts != 0 {
+		t.Fatalf("stats before any sweep: %+v", s)
+	}
+
+	// Storm in flight: the sweep must defer, not rewrite.
+	e.pendingBatches.Add(1)
+	e.maybeAutoCluster()
+	s := e.Snapshot()
+	if s.DeferredResorts < 1 {
+		t.Fatalf("busy sweep recorded no deferred re-sort: %+v", s)
+	}
+	if s.Resorts != 0 {
+		t.Fatalf("busy sweep re-sorted anyway: %+v", s)
+	}
+	tbl, err := cat.Table("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols, _ := tbl.ClusterSpec(); len(cols) != 0 {
+		t.Fatalf("busy sweep changed the layout to %v", cols)
+	}
+
+	// Storm drained: the deferred decision lands on the next sweep.
+	deferred := s.DeferredResorts
+	e.pendingBatches.Add(-1)
+	e.maybeAutoCluster()
+	s = e.Snapshot()
+	if s.Resorts != 1 {
+		t.Fatalf("post-storm sweep did not re-sort: %+v", s)
+	}
+	if s.DeferredResorts != deferred {
+		t.Errorf("post-storm sweep deferred again: %+v", s)
+	}
+	tbl, err = e.Catalog().Table("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols, _ := tbl.ClusterSpec(); len(cols) != 1 {
+		t.Fatalf("post-storm ClusterSpec = %v, want one elected column", cols)
+	}
+}
+
+// TestSwapLayoutCarriesForwardStats checks the EWMA-prior satellite: a
+// layout rewrite keeps the workload statistics as a half-weight prior
+// (touch counts halved, selectivity EWMAs intact) instead of re-learning
+// from zero, while a user-facing InvalidateTable still forgets them.
+func TestSwapLayoutCarriesForwardStats(t *testing.T) {
+	cat, err := tpch.GenerateUsers(tpch.UsersConfig{Rows: 6000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(cat)
+	e.ClusterPolicy = eagerPolicy
+	e.SetAutoCluster(true)
+	q := usersQuery(relq.AggCount, "", usersDims()...)
+	for _, r := range prefixRegions() {
+		if _, err := e.Aggregate(q, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	prior := e.wstats.snapshot()["users"]
+	if len(prior) == 0 {
+		t.Fatal("no workload stats collected before the sweep")
+	}
+	e.maybeAutoCluster()
+	if got := e.Snapshot().Resorts; got != 1 {
+		t.Fatalf("Resorts = %d after sweep, want 1", got)
+	}
+
+	after := e.wstats.snapshot()["users"]
+	if len(after) == 0 {
+		t.Fatal("re-sort forgot the workload statistics entirely")
+	}
+	for ord, cw := range prior {
+		got, ok := after[ord]
+		if !ok {
+			t.Fatalf("column ord %d lost its stats across the swap", ord)
+		}
+		if got.touches != cw.touches/2 {
+			t.Errorf("ord %d touches = %d after swap, want %d (half of %d)",
+				ord, got.touches, cw.touches/2, cw.touches)
+		}
+		if got.ewma != cw.ewma || !got.seeded {
+			t.Errorf("ord %d ewma = (%v, seeded %v) after swap, want (%v, true)",
+				ord, got.ewma, got.seeded, cw.ewma)
+		}
+	}
+
+	// The explicit invalidation path keeps its contract: a user-declared
+	// table mutation means the old statistics describe dead data.
+	e.InvalidateTable("users")
+	if s := e.wstats.snapshot(); len(s["users"]) != 0 {
+		t.Errorf("InvalidateTable left workload stats behind: %+v", s)
+	}
+}
+
+// TestZoneSkipSoundOnZOrderLayout extends the block-level soundness
+// property to interleaved layouts: over a Z-ordered two-column table,
+// whenever the per-axis zone tests skip a block (skipAxis), the firing
+// axis provably admits no qualifying row in it — across randomized
+// dimension shapes, two-sided intervals, and NaN/±Inf sprinkles, which
+// must pin their blocks (a NaN-bearing block is never skippable on
+// that axis).
+func TestZoneSkipSoundOnZOrderLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 8 * blockRows
+	totalSkips := 0
+	for trial := 0; trial < 25; trial++ {
+		tbl := data.NewTable("zt", data.MustSchema(
+			data.Column{Name: "x", Type: data.Float64},
+			data.Column{Name: "y", Type: data.Float64},
+		))
+		// A handful of non-finite rows per trial: enough to exercise the
+		// pinning behavior without poisoning every block.
+		specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+		special := make(map[int][2]int, 8) // row -> (column, special index)
+		for k := 0; k < 8; k++ {
+			special[rng.Intn(n)] = [2]int{rng.Intn(2), rng.Intn(3)}
+		}
+		for i := 0; i < n; i++ {
+			row := [2]float64{rng.Float64() * 1000, rng.Float64() * 1000}
+			if s, ok := special[i]; ok {
+				row[s[0]] = specials[s[1]]
+			}
+			if err := tbl.AppendRow(data.FloatValue(row[0]), data.FloatValue(row[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		zt, err := data.ZOrderBy(tbl, []string{"x", "y"}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		dims := make([]*relq.Dimension, 2)
+		ivs := make([]relq.ViolInterval, 2)
+		zps := make([]zonePred, 2)
+		vecs := make([][]float64, 2)
+		for ax := 0; ax < 2; ax++ {
+			kind := []relq.DimKind{relq.SelectLE, relq.SelectGE, relq.SelectEQ}[rng.Intn(3)]
+			d := &relq.Dimension{
+				Kind:  kind,
+				Bound: rng.Float64() * 1000,
+				Width: 50 + rng.Float64()*500,
+			}
+			if kind == relq.SelectEQ {
+				d.Width = 100
+			}
+			iv := relq.ViolInterval{Hi: rng.Float64() * 120}
+			if rng.Intn(2) == 0 {
+				iv.Lo = iv.Hi * rng.Float64()
+			}
+			vec, err := zt.NumericColumn(ax)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, hi := pruneInterval(d, iv)
+			dims[ax], ivs[ax], vecs[ax] = d, iv, vec
+			zps[ax] = zonePred{zm: buildZoneMap(vec), lo: lo, hi: hi, ord: ax}
+		}
+
+		for bi := 0; bi < numBlocks(n); bi++ {
+			ax := skipAxis(zps, bi)
+			if ax < 0 {
+				continue
+			}
+			totalSkips++
+			blo, bhi := bi*blockRows, min((bi+1)*blockRows, n)
+			for r := blo; r < bhi; r++ {
+				if math.IsNaN(vecs[ax][r]) {
+					t.Fatalf("trial %d: axis %d skipped block %d containing NaN row %d", trial, ax, bi, r)
+				}
+				if v := dims[ax].Violation(vecs[ax][r]); v > ivs[ax].Lo && v <= ivs[ax].Hi {
+					t.Fatalf("trial %d axis %d iv=(%v,%v]: skipped block %d holds qualifying row %d (value %v, violation %v)",
+						trial, ax, ivs[ax].Lo, ivs[ax].Hi, bi, r, vecs[ax][r], v)
+				}
+			}
+		}
+	}
+	// The curve layout must make per-axis pruning actually engage: a
+	// soundness test that never skips proves nothing.
+	if totalSkips == 0 {
+		t.Fatal("no block was ever skipped across all trials")
+	}
+}

@@ -73,6 +73,12 @@ type Config struct {
 	// column from its own scans and re-sorts the table between batches,
 	// after which zone maps engage exactly as under -cluster.
 	AutoCluster bool
+	// ZOrder admits two-column Z-order (space-filling-curve) layouts
+	// into the auto-clustering election on every engine the harness
+	// builds (-zorder): when two range columns both carry workload
+	// weight, tables may be re-laid along their interleaved rank curve
+	// so zone maps prune on both axes. Implies AutoCluster.
+	ZOrder bool
 	// Obs instruments every engine and search the harness builds
 	// (metrics, phase spans, events); nil runs uninstrumented. Excluded
 	// from results JSON — it is a live handle, not a parameter.
@@ -200,8 +206,11 @@ func newEngine(cat *data.Catalog, cfg Config) (exec.Evaluator, error) {
 	if cfg.CacheMB > 0 {
 		e.EnableRegionCache(int64(cfg.CacheMB) << 20)
 	}
-	if cfg.AutoCluster {
+	if cfg.AutoCluster || cfg.ZOrder {
 		e.SetAutoCluster(true)
+	}
+	if cfg.ZOrder {
+		e.SetZOrder(true)
 	}
 	return e, nil
 }

@@ -2,7 +2,9 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 	"time"
 )
 
@@ -19,7 +21,9 @@ type Results struct {
 }
 
 // WriteResults serialises the figures (plus the registry snapshot of
-// cfg.Obs, when instrumented) as indented JSON to w.
+// cfg.Obs, when instrumented) as indented JSON to w. The payload is
+// validated first — a malformed run must fail loudly rather than
+// overwrite a committed BENCH_*.json artifact with garbage.
 func WriteResults(w io.Writer, cfg Config, figs []Figure) error {
 	r := Results{
 		GeneratedAt: time.Now().UTC(),
@@ -27,7 +31,82 @@ func WriteResults(w io.Writer, cfg Config, figs []Figure) error {
 		Figures:     figs,
 		Metrics:     cfg.Obs.Registry().Snapshot(),
 	}
+	if err := ValidateResults(&r); err != nil {
+		return fmt.Errorf("refusing to write results: %w", err)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ValidateResults checks the structural invariants every benchmark
+// artifact must satisfy before it may replace a committed BENCH_*.json:
+// a real generation timestamp, at least one figure, non-empty figure
+// IDs (unique across the run), every series exactly as long as its
+// figure's X axis, and every number — axis point, series value, metric
+// — finite. It is shared by the write path (WriteResults) and the
+// repo-artifact checker (cmd/benchcheck), so the committed files and
+// fresh runs are held to the same schema.
+func ValidateResults(r *Results) error {
+	if r.GeneratedAt.IsZero() {
+		return fmt.Errorf("results: generated_at is zero")
+	}
+	if len(r.Figures) == 0 {
+		return fmt.Errorf("results: no figures")
+	}
+	seen := make(map[string]bool, len(r.Figures))
+	for i, f := range r.Figures {
+		if f.ID == "" {
+			return fmt.Errorf("results: figure %d has an empty ID", i)
+		}
+		if seen[f.ID] {
+			return fmt.Errorf("results: duplicate figure ID %q", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.X) == 0 {
+			return fmt.Errorf("results: figure %q has an empty X axis", f.ID)
+		}
+		for _, x := range f.X {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("results: figure %q has a non-finite X value", f.ID)
+			}
+		}
+		if len(f.Series) == 0 {
+			return fmt.Errorf("results: figure %q has no series", f.ID)
+		}
+		for _, s := range f.Series {
+			if len(s.Y) != len(f.X) {
+				return fmt.Errorf("results: figure %q series %q has %d points, X axis has %d",
+					f.ID, s.Name, len(s.Y), len(f.X))
+			}
+			for _, y := range s.Y {
+				if math.IsNaN(y) || math.IsInf(y, 0) {
+					return fmt.Errorf("results: figure %q series %q has a non-finite value", f.ID, s.Name)
+				}
+			}
+		}
+	}
+	for name, v := range r.Metrics {
+		if name == "" {
+			return fmt.Errorf("results: metric with empty name")
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("results: metric %q is non-finite", name)
+		}
+	}
+	return nil
+}
+
+// ReadResults parses and validates one results artifact.
+func ReadResults(rd io.Reader) (*Results, error) {
+	var r Results
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	if err := ValidateResults(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
 }
